@@ -1,0 +1,227 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	experiments -exp table2
+//	experiments -exp fig15
+//	experiments -exp fig5 -bench BFS-graph500
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spawnsim/internal/config"
+	"spawnsim/internal/harness"
+	"spawnsim/internal/workloads"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id: table1|table2|fig5|fig6|fig7|fig8|fig12|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablation|hwq")
+		bench = flag.String("bench", "", "restrict fig5 to one benchmark")
+		all   = flag.Bool("all", false, "run every experiment")
+		csv   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+
+	ids := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig12",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablation", "hwq"}
+	if *all {
+		for _, id := range ids {
+			if err := run(id, *bench, *csv); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintf(os.Stderr, "experiments: pass -exp one of %s, or -all\n", strings.Join(ids, "|"))
+		os.Exit(2)
+	}
+	if err := run(*exp, *bench, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// mainComparisons caches the flat/baseline/offline/spawn runs shared by
+// Figures 15-18.
+var mainComparisons []*harness.MainComparison
+
+func comparisons() ([]*harness.MainComparison, error) {
+	if mainComparisons == nil {
+		var err error
+		mainComparisons, err = harness.CompareAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mainComparisons, nil
+}
+
+// csvOut opens <dir>/<name>.csv when dir is set; callers must Close.
+func csvOut(dir, name string) (io.WriteCloser, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(filepath.Join(dir, name+".csv"))
+}
+
+// writeTableCSV writes a table CSV when dir is set.
+func writeTableCSV(dir, name string, t *harness.Table) error {
+	f, err := csvOut(dir, name)
+	if err != nil || f == nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func run(id, bench, csvDir string) error {
+	switch id {
+	case "table1":
+		fmt.Println("Table I: benchmarks (<application, input> pairs)")
+		for _, name := range workloads.Names() {
+			b, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			app := b.Make()
+			if err := app.Normalize(); err != nil {
+				return err
+			}
+			fmt.Printf("  %-15s %7d elements, %9d work items, default THRESHOLD %d\n",
+				name, app.Elements, app.TotalWork(), app.DefaultThreshold)
+		}
+	case "table2":
+		fmt.Println(config.K20m().TableII())
+	case "fig5":
+		names := workloads.Names()
+		if bench != "" {
+			names = []string{bench}
+		}
+		for _, n := range names {
+			r, err := harness.Fig5(n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+			if f, err := csvOut(csvDir, "fig5-"+n); err != nil {
+				return err
+			} else if f != nil {
+				err := r.WriteCSV(f)
+				f.Close()
+				if err != nil {
+					return err
+				}
+			}
+		}
+	case "fig6":
+		ss, err := harness.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 6: CTA concurrency and resource utilization (BFS-graph500, Baseline-DP)")
+		fmt.Print(ss.Render())
+	case "fig7":
+		t, err := harness.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+	case "fig8":
+		t, err := harness.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+	case "fig12":
+		rs, err := harness.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 12: child kernel CTA execution time distribution (Baseline-DP)")
+		for _, r := range rs {
+			fmt.Print(r.Render())
+		}
+	case "fig15", "fig16", "fig17", "fig18":
+		mcs, err := comparisons()
+		if err != nil {
+			return err
+		}
+		var t *harness.Table
+		switch id {
+		case "fig15":
+			t = harness.Fig15(mcs)
+		case "fig16":
+			t = harness.Fig16(mcs)
+		case "fig17":
+			t = harness.Fig17(mcs)
+		case "fig18":
+			t = harness.Fig18(mcs)
+		}
+		fmt.Print(t.Render())
+		if err := writeTableCSV(csvDir, id, t); err != nil {
+			return err
+		}
+	case "fig19":
+		base, sp, err := harness.Fig19()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 19: concurrent CTAs of BFS-graph500 over time")
+		fmt.Print(base.Render())
+		fmt.Print(sp.Render())
+	case "fig20":
+		r, err := harness.Fig20()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig21":
+		t, err := harness.Fig21()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+	case "hwq":
+		n := "BFS-graph500"
+		if bench != "" {
+			n = bench
+		}
+		t, err := harness.HWQSensitivity(n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+		if err := writeTableCSV(csvDir, "hwq-"+n, t); err != nil {
+			return err
+		}
+	case "ablation":
+		names := []string{"BFS-graph500", "SA-thaliana"}
+		if bench != "" {
+			names = []string{bench}
+		}
+		for _, n := range names {
+			t, err := harness.Ablation(n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.Render())
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

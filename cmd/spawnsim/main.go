@@ -1,0 +1,89 @@
+// Command spawnsim runs one benchmark under one execution scheme and
+// prints the collected metrics.
+//
+// Usage:
+//
+//	spawnsim -bench BFS-graph500 -scheme spawn
+//	spawnsim -bench MM-small -scheme threshold:512 -ctasize 64
+//	spawnsim -bench SA-thaliana -scheme baseline -series
+//	spawnsim -list
+//
+// Schemes: flat, baseline, offline, spawn, dtbl, threshold:N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spawnsim/internal/harness"
+	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/workloads"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "BFS-graph500", "benchmark name (see -list)")
+		scheme  = flag.String("scheme", "spawn", "execution scheme: flat|baseline|offline|spawn|dtbl|threshold:N")
+		ctaSize = flag.Int("ctasize", 0, "override child CTA size (threads)")
+		perCTA  = flag.Bool("stream-per-cta", false, "one SWQ per parent CTA instead of per child kernel")
+		series  = flag.Bool("series", false, "print concurrency/utilization time series")
+		traceN  = flag.Int("trace", 0, "print the last N simulator events")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		fmt.Println("SA-elegans (Figure 21 only)")
+		return
+	}
+
+	spec := harness.Spec{
+		Benchmark:    *bench,
+		Scheme:       *scheme,
+		ChildCTASize: *ctaSize,
+	}
+	if *perCTA {
+		spec.StreamMode = kernel.StreamPerParentCTA
+	}
+	if *series {
+		spec.SampleInterval = 2000
+	}
+	spec.TraceEvents = *traceN
+	out, err := harness.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spawnsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(out.Summary())
+	if out.Threshold >= 0 {
+		fmt.Printf("static THRESHOLD used: %d\n", out.Threshold)
+	}
+	if *series {
+		ss := out.Result
+		fmt.Printf("parent CTAs: %v\n", compact(ss.ParentCTASeries.Values))
+		fmt.Printf("child CTAs : %v\n", compact(ss.ChildCTASeries.Values))
+	}
+	if *traceN > 0 {
+		fmt.Printf("last %d of %d simulator events:\n", len(out.Trace.Events()), out.Trace.Total())
+		if err := out.Trace.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spawnsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compact truncates long series for terminal output.
+func compact(vs []float64) []float64 {
+	if len(vs) <= 64 {
+		return vs
+	}
+	out := make([]float64, 64)
+	for i := range out {
+		out[i] = vs[i*len(vs)/64]
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package spawnsim is a from-scratch reproduction of "Controlled Kernel
+// Launch for Dynamic Parallelism in GPUs" (Tang et al., HPCA 2017): a
+// cycle-level GPU simulator with CUDA-style dynamic parallelism, the
+// SPAWN launch-throttling controller, the static-THRESHOLD and DTBL
+// baselines, the paper's 13 benchmarks over synthetic inputs, and a
+// harness that regenerates every table and figure of the evaluation.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment
+// index) and EXPERIMENTS.md (paper-vs-measured results). The runnable
+// entry points are cmd/spawnsim, cmd/experiments, and the programs under
+// examples/.
+package spawnsim

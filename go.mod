@@ -1,0 +1,3 @@
+module spawnsim
+
+go 1.22

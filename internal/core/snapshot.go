@@ -1,0 +1,24 @@
+package spawn
+
+// Snapshot exposes the controller's current metric estimates for
+// diagnostics and tests.
+type Snapshot struct {
+	N         int64
+	TCTA      float64
+	TWarp     float64
+	NCon      float64
+	Decisions int
+	Accepts   int
+}
+
+// Snap returns the current metric estimates.
+func (c *Controller) Snap() Snapshot {
+	return Snapshot{
+		N:         c.n,
+		TCTA:      c.tcta(),
+		TWarp:     c.twarp(),
+		NCon:      c.nconEstimate(),
+		Decisions: c.Decisions,
+		Accepts:   c.Accepts,
+	}
+}

@@ -1,0 +1,52 @@
+// Package dtbl models Dynamic Thread Block Launch (Wang et al.,
+// ISCA 2015), the comparator of the paper's Section V-D. Instead of
+// launching a child kernel, a parent thread launches the child's CTAs
+// directly and coalesces them onto a running aggregated kernel with the
+// same code and CTA dimensions. This eliminates the per-kernel launch
+// overhead and the HWQ (concurrent-kernel) limit, but the CTAs still
+// compete for the per-SMX CTA concurrency limit — which is exactly the
+// distinction the paper exploits (SA is CTA-limit bound, SSSP is
+// launch-overhead bound).
+//
+// Coalescibility (same instruction sequence and CTA dimensions) always
+// holds in our benchmarks because every launch site of an application
+// spawns the same child kernel shape; the simulator therefore accepts
+// every LaunchCTAs decision.
+package dtbl
+
+import (
+	"fmt"
+
+	"spawnsim/internal/sim/kernel"
+)
+
+// API cost of a DTBL thread-block launch: a lightweight hardware-managed
+// enqueue rather than a runtime API call.
+const (
+	acceptCycles  = 8
+	declineCycles = 4
+)
+
+// Policy launches child work as DTBL CTA groups whenever the workload
+// exceeds the application's static THRESHOLD (DTBL keeps the original
+// program structure; only the launch mechanism changes).
+type Policy struct {
+	kernel.BasePolicy
+	T int
+}
+
+// New creates a DTBL policy with the application's default THRESHOLD.
+func New(threshold int) Policy { return Policy{T: threshold} }
+
+// Name implements kernel.Policy.
+func (p Policy) Name() string { return fmt.Sprintf("dtbl-%d", p.T) }
+
+// Decide implements kernel.Policy.
+func (p Policy) Decide(site *kernel.LaunchSite) kernel.Decision {
+	if site.Candidate.Workload > p.T {
+		return kernel.Decision{Action: kernel.LaunchCTAs, APICycles: acceptCycles}
+	}
+	return kernel.Decision{Action: kernel.Serialize, APICycles: declineCycles}
+}
+
+var _ kernel.Policy = Policy{}

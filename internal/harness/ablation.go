@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+
+	"spawnsim/internal/config"
+	spawn "spawnsim/internal/core"
+)
+
+// Ablation measures the sensitivity of SPAWN to the design choices
+// DESIGN.md §4 calls out: the metric-averaging window (Section IV-B's
+// 1024 cycles), the cold-start admission cap (our scale compensation;
+// "unbounded" is the paper's literal Algorithm 1), and the per-warp
+// pending-launch pool depth. One row per variant; values are speedup
+// over flat and child kernels launched.
+func Ablation(benchmark string) (*Table, error) {
+	flat, err := Run(Spec{Benchmark: benchmark, Scheme: SchemeFlat})
+	if err != nil {
+		return nil, err
+	}
+	fb := float64(flat.Result.Cycles)
+
+	t := &Table{
+		Title:   fmt.Sprintf("SPAWN ablation on %s (speedup over flat, child kernels)", benchmark),
+		Columns: []string{"speedup", "kernels"},
+		Notes: []string{
+			"window-*: Section IV-B metric window (default 1024 cycles)",
+			"coldcap-off: the paper's unbounded cold start (Algorithm 1 lines 2-3 verbatim)",
+			"pool-*: per-warp pending-launch bound (default 8)",
+		},
+	}
+	add := func(label string, cfg config.GPU, mutate func(*spawn.Controller)) error {
+		ctrl := spawn.New(cfg)
+		if mutate != nil {
+			mutate(ctrl)
+		}
+		out, err := RunWithPolicy(Spec{Benchmark: benchmark}, cfg, ctrl)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, Row{Label: label, Values: []float64{
+			fb / float64(out.Result.Cycles),
+			float64(out.Result.ChildKernels),
+		}})
+		return nil
+	}
+
+	base := config.K20m()
+	if err := add("default", base, nil); err != nil {
+		return nil, err
+	}
+	for _, w := range []uint{256, 8192} {
+		cfg := base
+		cfg.SpawnWindow = w
+		if err := add(fmt.Sprintf("window-%d", w), cfg, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := add("coldcap-off", base, func(c *spawn.Controller) { c.SetColdCap(1 << 40) }); err != nil {
+		return nil, err
+	}
+	for _, p := range []int{2, 32} {
+		cfg := base
+		cfg.MaxPendingLaunches = p
+		if err := add(fmt.Sprintf("pool-%d", p), cfg, nil); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// HWQSensitivity is an extension experiment the paper's analysis
+// implies: Section III blames the 32-HWQ concurrent-kernel limit for the
+// low child-CTA concurrency of Baseline-DP, so widening the queue count
+// should recover Baseline-DP performance (and shrink SPAWN's edge) while
+// narrowing it should amplify it. One row per HWQ count; values are
+// Baseline-DP and SPAWN speedup over flat.
+func HWQSensitivity(benchmark string) (*Table, error) {
+	flat, err := Run(Spec{Benchmark: benchmark, Scheme: SchemeFlat})
+	if err != nil {
+		return nil, err
+	}
+	fb := float64(flat.Result.Cycles)
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: HWQ-count sensitivity on %s (speedup over flat)", benchmark),
+		Columns: []string{"Baseline-DP", "SPAWN"},
+		Notes:   []string{"Kepler has 32 HWQs (Table II); the paper blames this concurrent-kernel limit for Baseline-DP's child-phase underutilization"},
+	}
+	for _, q := range []int{8, 16, 32, 64, 128} {
+		cfg := config.K20m()
+		cfg.NumHWQs = q
+		row := Row{Label: fmt.Sprintf("HWQs-%d", q)}
+		for _, scheme := range []string{SchemeBaseline, SchemeSpawn} {
+			out, err := Run(Spec{Benchmark: benchmark, Scheme: scheme, Config: &cfg})
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, fb/float64(out.Result.Cycles))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the table as CSV (label column first) for plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"benchmark"}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, 0, len(r.Values)+1)
+		rec = append(rec, r.Label)
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 5 sweep as CSV.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "threshold", "offload", "speedup"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			r.Benchmark,
+			strconv.FormatFloat(p.Threshold, 'g', 6, 64),
+			strconv.FormatFloat(p.Offload, 'g', 6, 64),
+			strconv.FormatFloat(p.Speedup, 'g', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits a time series as CSV (cycle, parent, child, utilization).
+func (s *SeriesSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle", "parent_ctas", "child_ctas", "utilization"}); err != nil {
+		return err
+	}
+	n := len(s.Parent)
+	if len(s.Child) < n {
+		n = len(s.Child)
+	}
+	if len(s.Util) < n {
+		n = len(s.Util)
+	}
+	for i := 0; i < n; i++ {
+		if err := cw.Write([]string{
+			fmt.Sprint(uint64(i) * s.Interval),
+			strconv.FormatFloat(s.Parent[i], 'g', 6, 64),
+			strconv.FormatFloat(s.Child[i], 'g', 6, 64),
+			strconv.FormatFloat(s.Util[i], 'g', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

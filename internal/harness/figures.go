@@ -1,0 +1,395 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/stats"
+	"spawnsim/internal/workloads"
+)
+
+// Row is one rendered output row of an experiment.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table is one rendered experiment: a header and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Fig5Point is one sweep point of Figure 5.
+type Fig5Point struct {
+	Threshold float64 // the THRESHOLD value used
+	Offload   float64 // fraction of workload offloaded (x-axis)
+	Speedup   float64 // over flat (y-axis)
+}
+
+// Fig5Result is the sweep of one benchmark.
+type Fig5Result struct {
+	Benchmark string
+	Points    []Fig5Point
+}
+
+// Fig5 sweeps the parent/child workload distribution for one benchmark
+// (the paper's Figure 5): speedup over flat as a function of the
+// fraction of workload offloaded via child kernels.
+func Fig5(benchmark string) (*Fig5Result, error) {
+	flat, err := Run(Spec{Benchmark: benchmark, Scheme: SchemeFlat})
+	if err != nil {
+		return nil, err
+	}
+	app, err := Spec{Benchmark: benchmark}.buildApp()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Benchmark: benchmark}
+	for _, t := range SweepThresholds(app) {
+		out, err := Run(Spec{Benchmark: benchmark, Scheme: fmt.Sprintf("threshold:%d", t)})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig5Point{
+			Threshold: float64(t),
+			Offload:   out.Result.OffloadedFraction,
+			Speedup:   float64(flat.Result.Cycles) / float64(out.Result.Cycles),
+		})
+	}
+	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].Offload < res.Points[j].Offload })
+	return res, nil
+}
+
+// Fig5All runs the Figure 5 sweep for every benchmark.
+func Fig5All() ([]*Fig5Result, error) {
+	var out []*Fig5Result
+	for _, name := range workloads.Names() {
+		r, err := Fig5(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SeriesSet carries the time-series outputs of Figures 6 and 19.
+type SeriesSet struct {
+	Benchmark string
+	Scheme    string
+	Interval  uint64
+	Parent    []float64
+	Child     []float64
+	Util      []float64
+	Cycles    uint64
+}
+
+// runSeries samples one benchmark/scheme with time series enabled.
+func runSeries(benchmark, scheme string, interval uint64) (*SeriesSet, error) {
+	out, err := Run(Spec{Benchmark: benchmark, Scheme: scheme, SampleInterval: interval})
+	if err != nil {
+		return nil, err
+	}
+	return &SeriesSet{
+		Benchmark: benchmark,
+		Scheme:    scheme,
+		Interval:  interval,
+		Parent:    out.Result.ParentCTASeries.Values,
+		Child:     out.Result.ChildCTASeries.Values,
+		Util:      out.Result.UtilSeries.Values,
+		Cycles:    out.Result.Cycles,
+	}, nil
+}
+
+// Fig6 renders the Baseline-DP CTA-concurrency/utilization timeline of
+// BFS-graph500 (the paper's Figure 6).
+func Fig6() (*SeriesSet, error) { return runSeries("BFS-graph500", SchemeBaseline, 1000) }
+
+// Fig7 measures speedup sensitivity to the child CTA size: 64, 128 and
+// 256 threads/CTA, normalized to 32 (the paper's Figure 7), under
+// Baseline-DP.
+func Fig7() (*Table, error) {
+	t := &Table{
+		Title:   "Figure 7: performance sensitivity to child CTA size (normalized to 32 threads/CTA)",
+		Columns: []string{"CTA-64", "CTA-128", "CTA-256"},
+	}
+	for _, name := range workloads.Names() {
+		base, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline, ChildCTASize: 32})
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: name}
+		for _, size := range []int{64, 128, 256} {
+			out, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline, ChildCTASize: size})
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, float64(base.Result.Cycles)/float64(out.Result.Cycles))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8 compares one SWQ per child kernel against one SWQ per parent CTA
+// (the paper's Figure 8), under Baseline-DP, reporting per-child-stream
+// speedup normalized to per-parent-CTA streams.
+func Fig8() (*Table, error) {
+	t := &Table{
+		Title:   "Figure 8: per-child-kernel SWQ speedup over per-parent-CTA SWQ",
+		Columns: []string{"speedup"},
+	}
+	for _, name := range workloads.Names() {
+		perChild, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline})
+		if err != nil {
+			return nil, err
+		}
+		perCTA, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline,
+			StreamMode: kernel.StreamPerParentCTA})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  name,
+			Values: []float64{float64(perCTA.Result.Cycles) / float64(perChild.Result.Cycles)},
+		})
+	}
+	return t, nil
+}
+
+// Fig12Result is the child-CTA execution-time PDF of one benchmark.
+type Fig12Result struct {
+	Benchmark string
+	Mean      float64
+	// PDF over [0.5*mean, 1.5*mean] in 20 bins (the paper plots
+	// -20%..+20% around the average).
+	PDF []float64
+	// Within10 is the fraction of child CTAs within 10% of the mean
+	// (the paper reports >= 95% for most benchmarks).
+	Within10 float64
+	N        int
+}
+
+// Fig12 reproduces the paper's Figure 12 for the four benchmarks shown.
+func Fig12() ([]*Fig12Result, error) {
+	var out []*Fig12Result
+	for _, name := range []string{"MM-small", "SA-thaliana", "BFS-graph500", "SSSP-graph500"} {
+		o, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline})
+		if err != nil {
+			return nil, err
+		}
+		h := o.Result.ChildCTAExec
+		mean := h.Mean()
+		out = append(out, &Fig12Result{
+			Benchmark: name,
+			Mean:      mean,
+			PDF:       h.PDF(0.5*mean, 1.5*mean, 20),
+			Within10:  h.FractionWithin(mean, 0.10),
+			N:         h.N(),
+		})
+	}
+	return out, nil
+}
+
+// MainComparison runs flat/baseline/offline/spawn for one benchmark and
+// feeds Figures 15-18.
+type MainComparison struct {
+	Benchmark string
+	Flat      *Outcome
+	Baseline  *Outcome
+	Offline   *Outcome
+	Spawn     *Outcome
+}
+
+// CompareMain runs the three evaluated schemes plus flat.
+func CompareMain(benchmark string) (*MainComparison, error) {
+	mc := &MainComparison{Benchmark: benchmark}
+	var err error
+	if mc.Flat, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeFlat}); err != nil {
+		return nil, err
+	}
+	if mc.Baseline, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeBaseline}); err != nil {
+		return nil, err
+	}
+	if mc.Offline, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeOffline}); err != nil {
+		return nil, err
+	}
+	if mc.Spawn, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeSpawn}); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// CompareAll runs CompareMain for every registry benchmark.
+func CompareAll() ([]*MainComparison, error) {
+	var out []*MainComparison
+	for _, name := range workloads.Names() {
+		mc, err := CompareMain(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mc)
+	}
+	return out, nil
+}
+
+// Fig15 renders speedups over flat (Baseline-DP, Offline-Search, SPAWN)
+// and appends the geometric means.
+func Fig15(mcs []*MainComparison) *Table {
+	t := &Table{
+		Title:   "Figure 15: speedup over the flat (non-DP) implementation",
+		Columns: []string{"Baseline-DP", "Offline-Search", "SPAWN"},
+	}
+	var b, o, s []float64
+	for _, mc := range mcs {
+		fb := float64(mc.Flat.Result.Cycles)
+		row := Row{Label: mc.Benchmark, Values: []float64{
+			fb / float64(mc.Baseline.Result.Cycles),
+			fb / float64(mc.Offline.Result.Cycles),
+			fb / float64(mc.Spawn.Result.Cycles),
+		}}
+		b = append(b, row.Values[0])
+		o = append(o, row.Values[1])
+		s = append(s, row.Values[2])
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, Row{Label: "GEOMEAN", Values: []float64{
+		stats.GeoMean(b), stats.GeoMean(o), stats.GeoMean(s),
+	}})
+	return t
+}
+
+// Fig16 renders SMX occupancy per scheme.
+func Fig16(mcs []*MainComparison) *Table {
+	t := &Table{
+		Title:   "Figure 16: SMX occupancy",
+		Columns: []string{"Baseline-DP", "Offline-Search", "SPAWN"},
+	}
+	var b, o, s stats.Mean
+	for _, mc := range mcs {
+		row := Row{Label: mc.Benchmark, Values: []float64{
+			mc.Baseline.Result.Occupancy,
+			mc.Offline.Result.Occupancy,
+			mc.Spawn.Result.Occupancy,
+		}}
+		b.Add(row.Values[0])
+		o.Add(row.Values[1])
+		s.Add(row.Values[2])
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, Row{Label: "AVERAGE", Values: []float64{b.Value(), o.Value(), s.Value()}})
+	return t
+}
+
+// Fig17 renders L2 hit rates per scheme.
+func Fig17(mcs []*MainComparison) *Table {
+	t := &Table{
+		Title:   "Figure 17: L2 cache hit rate",
+		Columns: []string{"Baseline-DP", "Offline-Search", "SPAWN"},
+	}
+	var b, o, s stats.Mean
+	for _, mc := range mcs {
+		row := Row{Label: mc.Benchmark, Values: []float64{
+			mc.Baseline.Result.L2HitRate,
+			mc.Offline.Result.L2HitRate,
+			mc.Spawn.Result.L2HitRate,
+		}}
+		b.Add(row.Values[0])
+		o.Add(row.Values[1])
+		s.Add(row.Values[2])
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, Row{Label: "AVERAGE", Values: []float64{b.Value(), o.Value(), s.Value()}})
+	return t
+}
+
+// Fig18 renders the number of child kernels launched per scheme.
+func Fig18(mcs []*MainComparison) *Table {
+	t := &Table{
+		Title:   "Figure 18: number of child kernels launched",
+		Columns: []string{"Baseline-DP", "Offline-Search", "SPAWN"},
+	}
+	for _, mc := range mcs {
+		t.Rows = append(t.Rows, Row{Label: mc.Benchmark, Values: []float64{
+			float64(mc.Baseline.Result.ChildKernels),
+			float64(mc.Offline.Result.ChildKernels),
+			float64(mc.Spawn.Result.ChildKernels),
+		}})
+	}
+	return t
+}
+
+// Fig19 renders the concurrent-CTA timelines of BFS-graph500 under
+// Baseline-DP and SPAWN.
+func Fig19() (baseline, spawnSeries *SeriesSet, err error) {
+	baseline, err = runSeries("BFS-graph500", SchemeBaseline, 1000)
+	if err != nil {
+		return nil, nil, err
+	}
+	spawnSeries, err = runSeries("BFS-graph500", SchemeSpawn, 1000)
+	return baseline, spawnSeries, err
+}
+
+// Fig20Result carries the cumulative-launch CDFs of BFS-graph500.
+type Fig20Result struct {
+	Interval uint64
+	Baseline []float64
+	Offline  []float64
+	Spawn    []float64
+}
+
+// Fig20 renders the CDF of child-kernel launches over time.
+func Fig20() (*Fig20Result, error) {
+	const interval = 10_000
+	b, err := Run(Spec{Benchmark: "BFS-graph500", Scheme: SchemeBaseline})
+	if err != nil {
+		return nil, err
+	}
+	o, err := Run(Spec{Benchmark: "BFS-graph500", Scheme: SchemeOffline})
+	if err != nil {
+		return nil, err
+	}
+	s, err := Run(Spec{Benchmark: "BFS-graph500", Scheme: SchemeSpawn})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig20Result{
+		Interval: interval,
+		Baseline: stats.CDF(b.Result.LaunchCycles, interval, b.Result.Cycles),
+		Offline:  stats.CDF(o.Result.LaunchCycles, interval, o.Result.Cycles),
+		Spawn:    stats.CDF(s.Result.LaunchCycles, interval, s.Result.Cycles),
+	}, nil
+}
+
+// Fig21 compares SPAWN against DTBL on the paper's six workloads,
+// normalized to flat.
+func Fig21() (*Table, error) {
+	t := &Table{
+		Title:   "Figure 21: SPAWN vs DTBL (speedup over flat)",
+		Columns: []string{"SPAWN", "DTBL"},
+	}
+	for _, name := range []string{"SA-thaliana", "SA-elegans", "MM-small", "MM-large", "SSSP-citation", "SSSP-graph500"} {
+		flat, err := Run(Spec{Benchmark: name, Scheme: SchemeFlat})
+		if err != nil {
+			return nil, err
+		}
+		sp, err := Run(Spec{Benchmark: name, Scheme: SchemeSpawn})
+		if err != nil {
+			return nil, err
+		}
+		dt, err := Run(Spec{Benchmark: name, Scheme: SchemeDTBL})
+		if err != nil {
+			return nil, err
+		}
+		fb := float64(flat.Result.Cycles)
+		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{
+			fb / float64(sp.Result.Cycles),
+			fb / float64(dt.Result.Cycles),
+		}})
+	}
+	return t, nil
+}

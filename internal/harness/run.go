@@ -1,0 +1,201 @@
+// Package harness runs benchmarks under the paper's execution schemes
+// and regenerates every table and figure of the evaluation section
+// (see DESIGN.md §3 for the experiment index).
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spawnsim/internal/config"
+	spawn "spawnsim/internal/core"
+	"spawnsim/internal/dtbl"
+	"spawnsim/internal/runtime"
+	"spawnsim/internal/sim"
+	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/trace"
+	"spawnsim/internal/workloads"
+)
+
+// Scheme names accepted by Run.
+const (
+	SchemeFlat     = "flat"     // non-DP baseline (decline every launch)
+	SchemeBaseline = "baseline" // Baseline-DP: the app's default THRESHOLD
+	SchemeSpawn    = "spawn"    // the paper's controller
+	SchemeDTBL     = "dtbl"     // Wang et al. comparator
+	SchemeOffline  = "offline"  // best static THRESHOLD (exhaustive sweep)
+	// "threshold:N" runs a specific static THRESHOLD N.
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Benchmark string
+	Scheme    string
+	// ChildCTASize overrides the app's child CTA dimension (Figure 7).
+	ChildCTASize int
+	// StreamMode selects SWQ assignment (Figure 8).
+	StreamMode kernel.StreamMode
+	// SampleInterval enables time series when non-zero.
+	SampleInterval uint64
+	// TraceEvents, when non-zero, records the last N simulator events
+	// into Outcome.Trace.
+	TraceEvents int
+	// Config overrides the GPU configuration (zero value = K20m).
+	Config *config.GPU
+}
+
+// Outcome bundles a run's result with its context.
+type Outcome struct {
+	Spec      Spec
+	Threshold int // static threshold used, if any (-1 otherwise)
+	Result    *sim.Result
+	// TotalWork is the app's full workload metric (Figure 5 denominator).
+	TotalWork int64
+	// Trace holds recorded simulator events when Spec.TraceEvents > 0.
+	Trace *trace.Ring
+}
+
+func (s Spec) config() config.GPU {
+	if s.Config != nil {
+		return *s.Config
+	}
+	return config.K20m()
+}
+
+// buildApp materializes the benchmark's app with the spec's overrides.
+func (s Spec) buildApp() (*workloads.App, error) {
+	b, err := workloads.ByName(s.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	app := b.Make()
+	if s.ChildCTASize > 0 {
+		app.ChildCTASize = s.ChildCTASize
+	}
+	if err := app.Normalize(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// policyFor resolves the scheme to a launch policy. Threshold-bearing
+// schemes return the threshold used (or -1).
+func policyFor(scheme string, app *workloads.App, cfg config.GPU) (kernel.Policy, int, error) {
+	switch {
+	case scheme == SchemeFlat:
+		return runtime.Flat{}, -1, nil
+	case scheme == SchemeBaseline:
+		return runtime.Threshold{T: app.DefaultThreshold}, app.DefaultThreshold, nil
+	case scheme == SchemeSpawn:
+		return spawn.New(cfg), -1, nil
+	case scheme == SchemeDTBL:
+		return dtbl.New(app.DefaultThreshold), app.DefaultThreshold, nil
+	case strings.HasPrefix(scheme, "threshold:"):
+		t, err := strconv.Atoi(strings.TrimPrefix(scheme, "threshold:"))
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: bad scheme %q: %v", scheme, err)
+		}
+		return runtime.Threshold{T: t}, t, nil
+	default:
+		return nil, 0, fmt.Errorf("harness: unknown scheme %q", scheme)
+	}
+}
+
+// Run executes one simulation per the spec.
+func Run(spec Spec) (*Outcome, error) {
+	if spec.Scheme == SchemeOffline {
+		return OfflineSearch(spec)
+	}
+	app, err := spec.buildApp()
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.config()
+	pol, thr, err := policyFor(spec.Scheme, app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := RunWithPolicy(spec, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	out.Threshold = thr
+	return out, nil
+}
+
+// RunWithPolicy executes the spec's benchmark under a caller-supplied
+// policy and configuration (custom policies, ablation studies).
+func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, error) {
+	app, err := spec.buildApp()
+	if err != nil {
+		return nil, err
+	}
+	def, err := workloads.ParentDef(app)
+	if err != nil {
+		return nil, err
+	}
+	var ring *trace.Ring
+	if spec.TraceEvents > 0 {
+		ring = trace.New(spec.TraceEvents)
+	}
+	g := sim.New(sim.Options{
+		Config:         cfg,
+		Policy:         pol,
+		StreamMode:     spec.StreamMode,
+		SampleInterval: spec.SampleInterval,
+		Trace:          ring,
+	})
+	g.LaunchHost(def)
+	res, err := g.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", spec.Benchmark, pol.Name(), err)
+	}
+	return &Outcome{Spec: spec, Threshold: -1, Result: res, TotalWork: app.TotalWork(), Trace: ring}, nil
+}
+
+// OffloadTargets are the Figure 5 sweep points (fractions of the
+// workload offloaded to children).
+var OffloadTargets = []float64{0.01, 0.05, 0.13, 0.28, 0.35, 0.53, 0.77, 0.91, 1.0}
+
+// SweepThresholds returns the static THRESHOLD values that hit the
+// Figure 5 offload targets for this benchmark (deduplicated, descending
+// offload order).
+func SweepThresholds(app *workloads.App) []int {
+	seen := map[int]bool{}
+	var out []int
+	for i := len(OffloadTargets) - 1; i >= 0; i-- {
+		t := app.ThresholdForOffload(OffloadTargets[i])
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OfflineSearch exhaustively sweeps the Figure 5 thresholds and returns
+// the best-performing static configuration (the paper's Offline-Search).
+func OfflineSearch(spec Spec) (*Outcome, error) {
+	app, err := spec.buildApp()
+	if err != nil {
+		return nil, err
+	}
+	var best *Outcome
+	for _, t := range SweepThresholds(app) {
+		s := spec
+		s.Scheme = fmt.Sprintf("threshold:%d", t)
+		out, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || out.Result.Cycles < best.Result.Cycles {
+			best = out
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("harness: offline search found no candidates for %s", spec.Benchmark)
+	}
+	best.Spec.Scheme = SchemeOffline
+	return best, nil
+}

@@ -1,0 +1,198 @@
+// Package gmu models the Grid Management Unit: the pending kernel pool,
+// the mapping of software work queues (streams) onto the 32 hardware
+// work queues (HWQs), and the round-robin CTA dispatcher.
+//
+// Kernels within one HWQ are strictly FIFO: only the head-of-line kernel
+// may dispatch CTAs, and it holds the HWQ slot until it completes. That
+// bounds kernel concurrency at NumHWQs (32 on Kepler) and reproduces
+// both the concurrent-kernel limit and HyperQ false serialization the
+// paper's Section III-A discusses. DTBL aggregated CTA groups bypass the
+// HWQs through a direct dispatch queue.
+package gmu
+
+import (
+	"fmt"
+
+	"spawnsim/internal/config"
+	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/stats"
+)
+
+// PlaceFunc attempts to dispatch the next CTA of k onto some SMX.
+// It returns true on success (the callee performs all CTA bookkeeping).
+type PlaceFunc func(k *kernel.Kernel) bool
+
+// GMU is the grid management unit.
+type GMU struct {
+	cfg config.GPU
+
+	hwqs   [][]*kernel.Kernel // FIFO per hardware work queue
+	direct []*kernel.Kernel   // DTBL aggregated kernels (no HWQ slot)
+
+	rr int // round-robin cursor over queues (hwqs + direct)
+
+	pendingCTAs int // undispatched CTAs across all queued kernels
+	queuedKerns int
+
+	// QueueLatency accumulates, per kernel, the cycles between pending-
+	// pool arrival and first CTA dispatch (the paper's queuing latency).
+	QueueLatency stats.Mean
+}
+
+// New creates a GMU for the given configuration.
+func New(cfg config.GPU) *GMU {
+	return &GMU{
+		cfg:  cfg,
+		hwqs: make([][]*kernel.Kernel, cfg.NumHWQs),
+	}
+}
+
+// Enqueue places a kernel into the pending pool (post launch overhead).
+// Aggregated (DTBL) kernels go to the direct queue; others to the HWQ
+// selected by their stream id.
+func (g *GMU) Enqueue(k *kernel.Kernel) {
+	if k.Aggregated {
+		g.direct = append(g.direct, k)
+	} else {
+		q := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
+		g.hwqs[q] = append(g.hwqs[q], k)
+	}
+	g.pendingCTAs += k.Def.GridCTAs
+	g.queuedKerns++
+}
+
+// numQueues counts HWQs plus the direct queue.
+func (g *GMU) numQueues() int { return len(g.hwqs) + 1 }
+
+// headOf returns the dispatchable head kernel of queue qi, or nil.
+func (g *GMU) headOf(qi int) *kernel.Kernel {
+	if qi == len(g.hwqs) {
+		// Direct queue: CTA groups do not hold kernel slots, so the
+		// first group with undispatched CTAs is eligible regardless of
+		// groups still running ahead of it.
+		for _, k := range g.direct {
+			if !k.Dispatched() {
+				return k
+			}
+		}
+		return nil
+	}
+	q := g.hwqs[qi]
+	if len(q) > 0 && !q[0].Dispatched() {
+		return q[0]
+	}
+	return nil
+}
+
+// Dispatch attempts to place up to CTADispatchRate CTAs this cycle,
+// rotating round-robin across the HWQs and the direct queue. place is
+// responsible for SMX selection, resource checks, and CTA bookkeeping
+// (including advancing k.NextCTA). It returns the number of CTAs placed.
+func (g *GMU) Dispatch(now uint64, place PlaceFunc) int {
+	placed := 0
+	for placed < g.cfg.CTADispatchRate {
+		n := g.numQueues()
+		progressed := false
+		for scan := 0; scan < n; scan++ {
+			qi := (g.rr + scan) % n
+			k := g.headOf(qi)
+			if k == nil {
+				continue
+			}
+			first := k.NextCTA == 0
+			if !place(k) {
+				continue
+			}
+			if first {
+				k.FirstDispatch = now
+				g.QueueLatency.Add(float64(now - k.ArrivalCycle))
+			}
+			g.pendingCTAs--
+			placed++
+			g.rr = (qi + 1) % n
+			progressed = true
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+	return placed
+}
+
+// Yield releases the HWQ headship of a fully suspended kernel (every
+// incomplete CTA is parked at a synchronization point waiting for child
+// kernels), so kernels queued behind it — typically its own descendants —
+// can dispatch. This mirrors Kepler's grid suspension: a parent grid
+// blocked on device-launched children must not hold a work-queue slot,
+// or parent and child would deadlock. The yielded kernel completes
+// off-queue.
+//
+// Note: a yielded kernel's same-stream successor may start before the
+// yielded kernel completes, relaxing stream ordering for suspended
+// kernels only (see DESIGN.md).
+func (g *GMU) Yield(k *kernel.Kernel) {
+	if k.Aggregated || k.Yielded {
+		return
+	}
+	qi := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
+	q := g.hwqs[qi]
+	if len(q) == 0 || q[0] != k {
+		panic(fmt.Sprintf("gmu: yielding %v which is not head of HWQ %d", k, qi))
+	}
+	g.hwqs[qi] = q[1:]
+	k.Yielded = true
+}
+
+// KernelCompleted removes a finished kernel from its queue, unblocking
+// the next kernel in that HWQ.
+func (g *GMU) KernelCompleted(k *kernel.Kernel) {
+	g.queuedKerns--
+	if k.Yielded {
+		return // already off-queue
+	}
+	if k.Aggregated {
+		for i, q := range g.direct {
+			if q == k {
+				g.direct = append(g.direct[:i], g.direct[i+1:]...)
+				return
+			}
+		}
+		panic(fmt.Sprintf("gmu: completed aggregated %v not in direct queue", k))
+	}
+	qi := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
+	q := g.hwqs[qi]
+	if len(q) == 0 || q[0] != k {
+		panic(fmt.Sprintf("gmu: completed %v is not head of HWQ %d", k, qi))
+	}
+	g.hwqs[qi] = q[1:]
+}
+
+// PendingCTAs reports undispatched CTAs across all queues.
+func (g *GMU) PendingCTAs() int { return g.pendingCTAs }
+
+// QueuedKernels reports kernels resident in the pool (dispatching or
+// waiting).
+func (g *GMU) QueuedKernels() int { return g.queuedKerns }
+
+// HasDispatchable reports whether any queue head has undispatched CTAs.
+func (g *GMU) HasDispatchable() bool {
+	for qi := 0; qi < g.numQueues(); qi++ {
+		if g.headOf(qi) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ConcurrentKernelSlots reports how many HWQ heads are occupied
+// (the paper's "concurrent kernels" figure, bounded by 32).
+func (g *GMU) ConcurrentKernelSlots() int {
+	n := 0
+	for _, q := range g.hwqs {
+		if len(q) > 0 {
+			n++
+		}
+	}
+	return n
+}

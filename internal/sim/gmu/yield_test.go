@@ -1,0 +1,73 @@
+package gmu
+
+import (
+	"testing"
+
+	"spawnsim/internal/config"
+)
+
+func TestYieldUnblocksSuccessor(t *testing.T) {
+	g := New(config.K20m())
+	parent := mkKernel(1, 1, 7)
+	child := mkKernel(2, 1, 7+32) // same HWQ as parent (false sharing)
+	g.Enqueue(parent)
+	g.Enqueue(child)
+	g.Dispatch(0, acceptAll)
+	if child.NextCTA != 0 {
+		t.Fatal("child dispatched while parent holds the head")
+	}
+	// Parent fully dispatched, all CTAs suspended at sync: it yields.
+	parent.SuspendedCTAs = 1
+	if !parent.FullySuspended() {
+		t.Fatal("parent should report fully suspended")
+	}
+	g.Yield(parent)
+	if !parent.Yielded {
+		t.Fatal("parent not marked yielded")
+	}
+	g.Dispatch(1, acceptAll)
+	if !child.Dispatched() {
+		t.Error("child still blocked after parent yielded")
+	}
+	// Completion of a yielded kernel must not disturb the queue.
+	parent.CTAsDone = 1
+	g.KernelCompleted(parent)
+	child.CTAsDone = 1
+	g.KernelCompleted(child)
+	if g.QueuedKernels() != 0 {
+		t.Errorf("QueuedKernels = %d, want 0", g.QueuedKernels())
+	}
+}
+
+func TestYieldIsIdempotentAndSkipsAggregated(t *testing.T) {
+	g := New(config.K20m())
+	k := mkKernel(1, 1, 3)
+	g.Enqueue(k)
+	g.Dispatch(0, acceptAll)
+	g.Yield(k)
+	g.Yield(k) // second call is a no-op
+	if !k.Yielded {
+		t.Error("not yielded")
+	}
+	agg := mkKernel(2, 1, 0)
+	agg.Aggregated = true
+	g.Enqueue(agg)
+	g.Yield(agg) // aggregated kernels have no HWQ slot; no-op
+	if agg.Yielded {
+		t.Error("aggregated kernel must not be marked yielded")
+	}
+}
+
+func TestYieldPanicsWhenNotHead(t *testing.T) {
+	g := New(config.K20m())
+	k1 := mkKernel(1, 1, 5)
+	k2 := mkKernel(2, 1, 5)
+	g.Enqueue(k1)
+	g.Enqueue(k2)
+	defer func() {
+		if recover() == nil {
+			t.Error("yielding a non-head kernel should panic")
+		}
+	}()
+	g.Yield(k2)
+}

@@ -1,0 +1,105 @@
+// Package kernel defines the shared vocabulary of the GPU simulator:
+// kernel definitions, the abstract warp instruction stream, runtime
+// instances (kernels, CTAs, warps), and the launch-policy contract that
+// SPAWN and the baseline schemes implement.
+//
+// The model is warp-granular (as in GPGPU-Sim): a warp is the schedulable
+// unit, and a warp's code is a Program — a generator of abstract
+// instructions (ALU with a latency, memory with per-lane addresses,
+// device-side kernel launches, and synchronization).
+package kernel
+
+import "fmt"
+
+// StreamID identifies a software-managed work queue (a CUDA stream /
+// "c_stream" in the paper). Kernels with the same StreamID execute
+// sequentially; different StreamIDs may execute concurrently subject to
+// the 32-HWQ hardware limit.
+type StreamID uint32
+
+// StreamMode selects how child kernels are assigned StreamIDs
+// (the Figure 8 study).
+type StreamMode int
+
+const (
+	// StreamPerChild gives each child kernel a unique StreamID
+	// (the paper's default for all main experiments).
+	StreamPerChild StreamMode = iota
+	// StreamPerParentCTA gives all child kernels launched from one
+	// parent CTA the same StreamID, serializing them.
+	StreamPerParentCTA
+)
+
+func (m StreamMode) String() string {
+	switch m {
+	case StreamPerChild:
+		return "per-child"
+	case StreamPerParentCTA:
+		return "per-parent-CTA"
+	default:
+		return fmt.Sprintf("StreamMode(%d)", int(m))
+	}
+}
+
+// Def is a static kernel definition: its shape, resource needs, and code.
+type Def struct {
+	// Name identifies the kernel code; DTBL may only coalesce CTAs onto a
+	// running kernel with the same Name and CTAThreads.
+	Name string
+	// GridCTAs is the grid dimension in CTAs (c_grid).
+	GridCTAs int
+	// CTAThreads is the CTA dimension in threads (c_cta).
+	CTAThreads int
+	// Threads is the exact number of threads with work; the trailing
+	// threads of the last CTA beyond this count are inactive lanes.
+	// Zero means GridCTAs*CTAThreads.
+	Threads int
+	// RegsPerThread and SharedMemBytes size the per-CTA resource
+	// reservation on an SMX.
+	RegsPerThread  int
+	SharedMemBytes int
+	// NewProgram creates the instruction stream for one warp.
+	// cta is the CTA index within the grid, warp the warp index within
+	// the CTA. The returned Program is owned by that warp.
+	NewProgram func(cta, warp int) Program
+}
+
+// TotalThreads returns the number of live threads in the grid.
+func (d *Def) TotalThreads() int {
+	if d.Threads > 0 {
+		return d.Threads
+	}
+	return d.GridCTAs * d.CTAThreads
+}
+
+// WarpsPerCTA returns the warp count of one CTA given the warp size.
+func (d *Def) WarpsPerCTA(warpSize int) int {
+	return (d.CTAThreads + warpSize - 1) / warpSize
+}
+
+// Validate reports the first inconsistency in the definition.
+func (d *Def) Validate() error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("kernel: empty name")
+	case d.GridCTAs <= 0:
+		return fmt.Errorf("kernel %s: GridCTAs = %d, want > 0", d.Name, d.GridCTAs)
+	case d.CTAThreads <= 0:
+		return fmt.Errorf("kernel %s: CTAThreads = %d, want > 0", d.Name, d.CTAThreads)
+	case d.Threads < 0 || d.Threads > d.GridCTAs*d.CTAThreads:
+		return fmt.Errorf("kernel %s: Threads = %d out of range [0,%d]",
+			d.Name, d.Threads, d.GridCTAs*d.CTAThreads)
+	case d.NewProgram == nil:
+		return fmt.Errorf("kernel %s: nil NewProgram", d.Name)
+	}
+	return nil
+}
+
+// GridFor returns the CTA count needed to cover `threads` threads with
+// CTAs of `ctaSize` threads.
+func GridFor(threads, ctaSize int) int {
+	if threads <= 0 {
+		return 1
+	}
+	return (threads + ctaSize - 1) / ctaSize
+}

@@ -1,0 +1,249 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func trivialProgram(cta, warp int) Program {
+	done := false
+	return ProgramFunc(func(x *Exec, in *Instr) bool {
+		if done {
+			return false
+		}
+		done = true
+		in.Kind = InstrALU
+		in.Lat = 1
+		return true
+	})
+}
+
+func testDef(grid, ctaThreads, threads int) *Def {
+	return &Def{
+		Name:       "t",
+		GridCTAs:   grid,
+		CTAThreads: ctaThreads,
+		Threads:    threads,
+		NewProgram: trivialProgram,
+	}
+}
+
+func TestDefValidate(t *testing.T) {
+	if err := testDef(2, 64, 0).Validate(); err != nil {
+		t.Errorf("valid def rejected: %v", err)
+	}
+	bad := []*Def{
+		{},
+		{Name: "x", GridCTAs: 0, CTAThreads: 32, NewProgram: trivialProgram},
+		{Name: "x", GridCTAs: 1, CTAThreads: 0, NewProgram: trivialProgram},
+		{Name: "x", GridCTAs: 1, CTAThreads: 32, Threads: 40, NewProgram: trivialProgram},
+		{Name: "x", GridCTAs: 1, CTAThreads: 32},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad def %d accepted", i)
+		}
+	}
+}
+
+func TestDefDerived(t *testing.T) {
+	d := testDef(3, 128, 300)
+	if got := d.TotalThreads(); got != 300 {
+		t.Errorf("TotalThreads = %d, want 300", got)
+	}
+	d.Threads = 0
+	if got := d.TotalThreads(); got != 384 {
+		t.Errorf("TotalThreads = %d, want 384", got)
+	}
+	if got := d.WarpsPerCTA(32); got != 4 {
+		t.Errorf("WarpsPerCTA = %d, want 4", got)
+	}
+}
+
+func TestGridFor(t *testing.T) {
+	tests := []struct{ threads, cta, want int }{
+		{0, 32, 1}, {1, 32, 1}, {32, 32, 1}, {33, 32, 2}, {100, 64, 2}, {128, 64, 2},
+	}
+	for _, tc := range tests {
+		if got := GridFor(tc.threads, tc.cta); got != tc.want {
+			t.Errorf("GridFor(%d,%d) = %d, want %d", tc.threads, tc.cta, got, tc.want)
+		}
+	}
+}
+
+func TestNewCTAPartialWarps(t *testing.T) {
+	// 70 live threads in a 128-thread CTA: warps of 32, 32, 6; the 4th
+	// warp has zero live lanes and must not be created.
+	d := testDef(1, 128, 70)
+	k := &Kernel{ID: 1, Def: d}
+	c := NewCTA(k, 0, 32)
+	if got := len(c.Warps); got != 3 {
+		t.Fatalf("warps = %d, want 3", got)
+	}
+	wantLanes := []int{32, 32, 6}
+	for i, w := range c.Warps {
+		if w.Lanes != wantLanes[i] {
+			t.Errorf("warp %d lanes = %d, want %d", i, w.Lanes, wantLanes[i])
+		}
+	}
+	if c.RunningWarps() != 3 {
+		t.Errorf("RunningWarps = %d, want 3", c.RunningWarps())
+	}
+}
+
+func TestNewCTASecondCTAOfPartialGrid(t *testing.T) {
+	// 40 threads, CTAs of 32: CTA 1 has 8 live threads.
+	d := testDef(2, 32, 40)
+	k := &Kernel{ID: 1, Def: d}
+	c := NewCTA(k, 1, 32)
+	if got := len(c.Warps); got != 1 {
+		t.Fatalf("warps = %d, want 1", got)
+	}
+	if c.Warps[0].Lanes != 8 {
+		t.Errorf("lanes = %d, want 8", c.Warps[0].Lanes)
+	}
+}
+
+func TestCTAResourceReservation(t *testing.T) {
+	d := testDef(1, 128, 0)
+	d.RegsPerThread = 24
+	d.SharedMemBytes = 4096
+	c := NewCTA(&Kernel{Def: d}, 0, 32)
+	if c.Regs != 24*128 {
+		t.Errorf("Regs = %d, want %d", c.Regs, 24*128)
+	}
+	if c.SharedMem != 4096 {
+		t.Errorf("SharedMem = %d, want 4096", c.SharedMem)
+	}
+	if c.Threads != 128 {
+		t.Errorf("Threads = %d, want 128", c.Threads)
+	}
+}
+
+func TestWarpRetired(t *testing.T) {
+	d := testDef(1, 64, 0)
+	c := NewCTA(&Kernel{Def: d}, 0, 32)
+	if c.WarpRetired() {
+		t.Error("first retirement should not complete a 2-warp CTA")
+	}
+	if !c.WarpRetired() {
+		t.Error("second retirement should complete the CTA")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-retirement should panic")
+		}
+	}()
+	c.WarpRetired()
+}
+
+func TestKernelLifecyclePredicates(t *testing.T) {
+	d := testDef(2, 32, 0)
+	k := &Kernel{ID: 7, Def: d}
+	if k.IsChild() {
+		t.Error("host kernel reported as child")
+	}
+	if k.Dispatched() || k.Done() {
+		t.Error("fresh kernel reported dispatched/done")
+	}
+	k.NextCTA = 2
+	if !k.Dispatched() {
+		t.Error("kernel with all CTAs dispatched not reported so")
+	}
+	k.CTAsDone = 2
+	if !k.Done() {
+		t.Error("kernel with all CTAs done not reported so")
+	}
+	k.Parent = NewCTA(k, 0, 32)
+	if !k.IsChild() {
+		t.Error("kernel with parent CTA not reported as child")
+	}
+}
+
+func TestInstrReset(t *testing.T) {
+	in := Instr{
+		Kind:       InstrMem,
+		Lat:        9,
+		Store:      true,
+		Addrs:      []uint64{1, 2, 3},
+		Candidates: []LaunchCandidate{{Lane: 1}},
+	}
+	in.Reset()
+	if in.Kind != InstrALU || in.Lat != 0 || in.Store || len(in.Addrs) != 0 || len(in.Candidates) != 0 {
+		t.Errorf("Reset left state: %+v", in)
+	}
+	if cap(in.Addrs) == 0 {
+		t.Error("Reset dropped Addrs capacity")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, k := range []InstrKind{InstrALU, InstrMem, InstrLaunch, InstrSync, InstrKind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+	for _, a := range []Action{Serialize, LaunchKernel, LaunchCTAs, Action(99)} {
+		if a.String() == "" {
+			t.Errorf("empty string for action %d", a)
+		}
+	}
+	for _, m := range []StreamMode{StreamPerChild, StreamPerParentCTA, StreamMode(99)} {
+		if m.String() == "" {
+			t.Errorf("empty string for mode %d", m)
+		}
+	}
+}
+
+// Property: live lanes across all CTAs of any grid equal TotalThreads.
+func TestNewCTALaneConservation(t *testing.T) {
+	f := func(gridRaw, ctaRaw uint8, threadFrac uint8) bool {
+		grid := int(gridRaw%16) + 1
+		ctaThreads := (int(ctaRaw%8) + 1) * 16
+		threads := (grid * ctaThreads) * int(threadFrac) / 255
+		if threads == 0 {
+			threads = 1
+		}
+		d := testDef(grid, ctaThreads, threads)
+		k := &Kernel{Def: d}
+		total := 0
+		for i := 0; i < grid; i++ {
+			c := NewCTA(k, i, 32)
+			for _, w := range c.Warps {
+				if w.Lanes <= 0 || w.Lanes > 32 {
+					return false
+				}
+				total += w.Lanes
+			}
+		}
+		return total == threads
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullySuspended(t *testing.T) {
+	d := testDef(3, 32, 0)
+	k := &Kernel{Def: d}
+	if k.FullySuspended() {
+		t.Error("fresh kernel reported suspended")
+	}
+	k.NextCTA = 3 // fully dispatched
+	k.SuspendedCTAs = 2
+	if k.FullySuspended() {
+		t.Error("2 of 3 suspended should not be fully suspended")
+	}
+	k.CTAsDone = 1
+	if !k.FullySuspended() {
+		t.Error("2 suspended + 1 done of 3 should be fully suspended")
+	}
+	k.CTAsDone, k.SuspendedCTAs = 0, 3
+	if !k.FullySuspended() {
+		t.Error("all suspended should be fully suspended")
+	}
+	k.NextCTA = 2
+	if k.FullySuspended() {
+		t.Error("undispatched CTAs must block suspension")
+	}
+}

@@ -1,0 +1,101 @@
+// Package mem implements the timing model of the GPU memory system:
+// per-SMX L1 data caches, a partitioned shared L2, a crossbar
+// interconnect, and banked row-buffer DRAM behind FR-FCFS-approximate
+// memory controllers.
+//
+// The model is event-resolved: cache tag state is mutated at issue time
+// and every transaction's completion cycle is computed immediately from
+// its hit level plus port/bank contention (per-resource next-free times).
+// See DESIGN.md §4 for the rationale.
+package mem
+
+// Cache is a set-associative cache tag array with LRU replacement.
+// It tracks lines only (no data) and is addressed by line number.
+type Cache struct {
+	sets int
+	ways int
+
+	valid []bool
+	tag   []uint64
+	use   []uint64 // LRU clock per way
+
+	clock uint64
+
+	Accesses uint64
+	Hits     uint64
+}
+
+// NewCache builds a cache of `bytes` capacity with `ways` associativity
+// over lines of `lineBytes`.
+func NewCache(bytes, ways, lineBytes int) *Cache {
+	lines := bytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * ways
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		valid: make([]bool, n),
+		tag:   make([]uint64, n),
+		use:   make([]uint64, n),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Access looks up (and on miss, allocates) the given line.
+// It returns true on hit.
+func (c *Cache) Access(line uint64) bool {
+	c.clock++
+	c.Accesses++
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tag[i] == line {
+			c.use[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+		} else if c.valid[victim] && c.use[i] < c.use[victim] {
+			victim = i
+		}
+	}
+	c.valid[victim] = true
+	c.tag[victim] = line
+	c.use[victim] = c.clock
+	return false
+}
+
+// Probe reports whether the line is present without touching LRU or stats.
+func (c *Cache) Probe(line uint64) bool {
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tag[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// HitRate returns Hits/Accesses (0 when no accesses).
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.clock, c.Accesses, c.Hits = 0, 0, 0
+}

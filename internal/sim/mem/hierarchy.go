@@ -1,0 +1,217 @@
+package mem
+
+import (
+	"spawnsim/internal/config"
+)
+
+// bank models one DRAM bank: an open row and a next-free time that
+// serializes requests (the FR-FCFS approximation: requests are serviced
+// in arrival order, but a request hitting the open row pays the cheaper
+// row-hit latency, which is the first-order bandwidth effect of FR-FCFS).
+type bank struct {
+	openRow  uint64
+	hasRow   bool
+	nextFree uint64
+}
+
+// Hierarchy is the full memory system shared by all SMXs.
+type Hierarchy struct {
+	cfg config.GPU
+
+	l1 []*Cache // one per SMX
+	l2 []*Cache // one per partition
+
+	l1Port []uint64 // per-SMX L1 next-free time (1 transaction/cycle)
+	l2Port []uint64 // per-partition L2 next-free time
+	banks  []bank   // MemControllers * BanksPerMC
+
+	linesPerRow uint64
+	lineShift   uint
+
+	// Statistics.
+	DRAMAccesses uint64
+	DRAMRowHits  uint64
+	Transactions uint64 // memory transactions after coalescing
+	WarpAccesses uint64 // warp-level memory instructions
+}
+
+// NewHierarchy builds the memory system for the given configuration.
+func NewHierarchy(cfg config.GPU) *Hierarchy {
+	h := &Hierarchy{
+		cfg:         cfg,
+		l1:          make([]*Cache, cfg.NumSMX),
+		l2:          make([]*Cache, cfg.L2Partitions),
+		l1Port:      make([]uint64, cfg.NumSMX),
+		l2Port:      make([]uint64, cfg.L2Partitions),
+		banks:       make([]bank, cfg.MemControllers*cfg.BanksPerMC),
+		linesPerRow: uint64(cfg.RowBytes / cfg.CacheLineBytes),
+	}
+	if h.linesPerRow == 0 {
+		h.linesPerRow = 1
+	}
+	for lb := cfg.CacheLineBytes; lb > 1; lb >>= 1 {
+		h.lineShift++
+	}
+	for i := range h.l1 {
+		h.l1[i] = NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.CacheLineBytes)
+	}
+	for i := range h.l2 {
+		h.l2[i] = NewCache(cfg.L2PartitionBytes, cfg.L2Ways, cfg.CacheLineBytes)
+	}
+	return h
+}
+
+// partitionOf maps a line to its L2 partition (lines interleave across
+// partitions, as address hashing does on real parts).
+func (h *Hierarchy) partitionOf(line uint64) int {
+	return int(line % uint64(len(h.l2)))
+}
+
+// bankOf maps a line to its DRAM bank.
+func (h *Hierarchy) bankOf(line uint64) int {
+	mc := h.partitionOf(line) / h.cfg.PartitionsPerMC
+	b := int((line / uint64(len(h.l2))) % uint64(h.cfg.BanksPerMC))
+	return mc*h.cfg.BanksPerMC + b
+}
+
+// rowOf maps a line to its DRAM row within its bank. Rows are counted in
+// bank-local line indices so that linesPerRow consecutive same-bank lines
+// share one row.
+func (h *Hierarchy) rowOf(line uint64) uint64 {
+	local := line / uint64(len(h.l2)) / uint64(h.cfg.BanksPerMC)
+	return local / h.linesPerRow
+}
+
+// lineTransaction times one coalesced line access from SMX `smx` issued
+// at `now`, returning the completion cycle.
+func (h *Hierarchy) lineTransaction(now uint64, smx int, line uint64) uint64 {
+	cfg := &h.cfg
+	h.Transactions++
+
+	// L1 port: one transaction per cycle per SMX.
+	start := now
+	if h.l1Port[smx] > start {
+		start = h.l1Port[smx]
+	}
+	h.l1Port[smx] = start + 1
+
+	if h.l1[smx].Access(line) {
+		return start + uint64(cfg.L1HitLatency)
+	}
+
+	// Traverse the crossbar to the L2 partition.
+	p := h.partitionOf(line)
+	atL2 := start + uint64(cfg.L1HitLatency) + uint64(cfg.InterconnectLat)
+	if h.l2Port[p] > atL2 {
+		atL2 = h.l2Port[p]
+	}
+	h.l2Port[p] = atL2 + 1
+
+	if h.l2[p].Access(line) {
+		return atL2 + uint64(cfg.L2HitLatency) + uint64(cfg.InterconnectLat)
+	}
+
+	// DRAM.
+	h.DRAMAccesses++
+	b := &h.banks[h.bankOf(line)]
+	row := h.rowOf(line)
+	atBank := atL2 + uint64(cfg.L2HitLatency)
+	if b.nextFree > atBank {
+		atBank = b.nextFree
+	}
+	var dramLat uint64
+	if b.hasRow && b.openRow == row {
+		h.DRAMRowHits++
+		dramLat = uint64(cfg.DRAMRowHitLat)
+	} else {
+		dramLat = uint64(cfg.DRAMRowMissLat)
+		b.openRow = row
+		b.hasRow = true
+	}
+	b.nextFree = atBank + uint64(cfg.DRAMCyclesPerReq)
+	return atBank + dramLat + uint64(cfg.InterconnectLat)
+}
+
+// Access times one warp memory instruction: the per-lane byte addresses
+// are coalesced into unique cache-line transactions; the warp's
+// completion cycle is that of the slowest transaction. Stores are timed
+// like loads (write-allocate).
+func (h *Hierarchy) Access(now uint64, smx int, addrs []uint64) uint64 {
+	h.WarpAccesses++
+	lineShift := h.lineShift
+	done := now
+	// Coalesce: addresses within a warp are usually sorted or clustered;
+	// dedupe against the lines already issued for this instruction.
+	var seen [8]uint64 // small open set; falls back to linear scan
+	nSeen := 0
+	for _, a := range addrs {
+		line := a >> lineShift
+		dup := false
+		for i := 0; i < nSeen; i++ {
+			if seen[i] == line {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if nSeen < len(seen) {
+			seen[nSeen] = line
+			nSeen++
+		} else {
+			// Shift window: keep the most recent lines, which catches
+			// the common sequential pattern.
+			copy(seen[:], seen[1:])
+			seen[len(seen)-1] = line
+		}
+		if t := h.lineTransaction(now, smx, line); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// L1HitRate aggregates the hit rate across all SMX L1 caches.
+func (h *Hierarchy) L1HitRate() float64 {
+	var acc, hit uint64
+	for _, c := range h.l1 {
+		acc += c.Accesses
+		hit += c.Hits
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(hit) / float64(acc)
+}
+
+// L2HitRate aggregates the hit rate across all L2 partitions
+// (the Figure 17 metric).
+func (h *Hierarchy) L2HitRate() float64 {
+	var acc, hit uint64
+	for _, c := range h.l2 {
+		acc += c.Accesses
+		hit += c.Hits
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(hit) / float64(acc)
+}
+
+// L2Accesses returns the total L2 lookups.
+func (h *Hierarchy) L2Accesses() uint64 {
+	var acc uint64
+	for _, c := range h.l2 {
+		acc += c.Accesses
+	}
+	return acc
+}
+
+// DRAMRowHitRate returns the fraction of DRAM accesses that hit the open row.
+func (h *Hierarchy) DRAMRowHitRate() float64 {
+	if h.DRAMAccesses == 0 {
+		return 0
+	}
+	return float64(h.DRAMRowHits) / float64(h.DRAMAccesses)
+}

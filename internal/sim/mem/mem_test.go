@@ -1,0 +1,191 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spawnsim/internal/config"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(16*1024, 4, 128) // 128 lines, 32 sets
+	if c.Access(42) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(42) {
+		t.Error("second access missed")
+	}
+	if c.Accesses != 2 || c.Hits != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", c.Hits, c.Accesses)
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4*128, 4, 128) // 1 set, 4 ways
+	for line := uint64(0); line < 4; line++ {
+		c.Access(line)
+	}
+	c.Access(0) // refresh line 0
+	c.Access(4) // evicts LRU = line 1
+	if !c.Probe(0) {
+		t.Error("line 0 evicted despite refresh")
+	}
+	if c.Probe(1) {
+		t.Error("line 1 not evicted")
+	}
+	if !c.Probe(4) {
+		t.Error("line 4 not resident")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4*128, 4, 128)
+	c.Access(1)
+	c.Reset()
+	if c.Accesses != 0 || c.Probe(1) {
+		t.Error("Reset did not clear cache")
+	}
+}
+
+func TestCacheSetMapping(t *testing.T) {
+	c := NewCache(16*1024, 4, 128)
+	sets := uint64(c.Sets())
+	// Lines mapping to different sets never conflict.
+	c.Access(0)
+	for i := uint64(1); i < sets; i++ {
+		c.Access(i)
+	}
+	if !c.Probe(0) {
+		t.Error("line 0 evicted by accesses to other sets")
+	}
+}
+
+func testCfg() config.GPU { return config.K20m() }
+
+func TestHierarchyL1Hit(t *testing.T) {
+	h := NewHierarchy(testCfg())
+	cfg := testCfg()
+	// First access: full miss to DRAM.
+	t1 := h.Access(0, 0, []uint64{0x1000})
+	if t1 <= uint64(cfg.L2HitLatency) {
+		t.Errorf("cold miss completed too fast: %d", t1)
+	}
+	// Second access to the same line: L1 hit.
+	t2 := h.Access(1000, 0, []uint64{0x1000})
+	want := uint64(1000 + cfg.L1HitLatency)
+	if t2 != want {
+		t.Errorf("L1 hit completion = %d, want %d", t2, want)
+	}
+}
+
+func TestHierarchyL2SharedAcrossSMXs(t *testing.T) {
+	h := NewHierarchy(testCfg())
+	h.Access(0, 0, []uint64{0x2000}) // SMX 0 warms L2
+	before := h.DRAMAccesses
+	h.Access(5000, 1, []uint64{0x2000}) // SMX 1 misses L1, hits shared L2
+	if h.DRAMAccesses != before {
+		t.Error("second SMX went to DRAM despite warm L2")
+	}
+	if h.L2HitRate() == 0 {
+		t.Error("L2 hit rate is zero after a shared hit")
+	}
+}
+
+func TestHierarchyCoalescing(t *testing.T) {
+	h := NewHierarchy(testCfg())
+	// 32 lanes touching consecutive 4-byte words: one 128B line.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x8000 + uint64(i*4)
+	}
+	h.Access(0, 0, addrs)
+	if h.Transactions != 1 {
+		t.Errorf("transactions = %d, want 1 (perfectly coalesced)", h.Transactions)
+	}
+	// 32 lanes striding 128B: 32 transactions.
+	for i := range addrs {
+		addrs[i] = 0x100000 + uint64(i*128)
+	}
+	h.Access(0, 0, addrs)
+	if h.Transactions != 33 {
+		t.Errorf("transactions = %d, want 33 (uncoalesced)", h.Transactions)
+	}
+}
+
+func TestHierarchyDRAMRowLocality(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg)
+	// Two consecutive same-bank lines map to the same row
+	// (banks interleave at partition*bank granularity).
+	stride := uint64(cfg.L2Partitions * cfg.BanksPerMC * cfg.CacheLineBytes)
+	h.Access(0, 0, []uint64{0})
+	h.Access(100000, 0, []uint64{stride})
+	if h.DRAMAccesses != 2 {
+		t.Fatalf("DRAM accesses = %d, want 2", h.DRAMAccesses)
+	}
+	if h.DRAMRowHits != 1 {
+		t.Errorf("row hits = %d, want 1 (same-row consecutive lines)", h.DRAMRowHits)
+	}
+}
+
+func TestHierarchyPortContention(t *testing.T) {
+	h := NewHierarchy(testCfg())
+	cfg := testCfg()
+	// Warm the line so both accesses are L1 hits; the second is delayed
+	// one cycle by the L1 port.
+	h.Access(0, 0, []uint64{0x40000})
+	h.Access(0, 0, []uint64{0x40000}) // same cycle? port was advanced; re-warm timing:
+	t1 := h.Access(10000, 0, []uint64{0x40000})
+	t2 := h.Access(10000, 0, []uint64{0x40000})
+	if t2 != t1+1 {
+		t.Errorf("port contention: t1=%d t2=%d, want t2 = t1+1", t1, t2)
+	}
+	_ = cfg
+}
+
+func TestHierarchyMonotoneCompletion(t *testing.T) {
+	h := NewHierarchy(testCfg())
+	f := func(addrRaw []uint32, smxRaw uint8) bool {
+		if len(addrRaw) == 0 {
+			return true
+		}
+		smx := int(smxRaw) % 13
+		addrs := make([]uint64, 0, len(addrRaw))
+		for _, a := range addrRaw {
+			addrs = append(addrs, uint64(a))
+		}
+		now := uint64(1000)
+		done := h.Access(now, smx, addrs)
+		return done > now
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionAndBankMapping(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg)
+	// Partition mapping covers all partitions for consecutive lines.
+	seen := map[int]bool{}
+	for line := uint64(0); line < uint64(cfg.L2Partitions); line++ {
+		p := h.partitionOf(line)
+		if p < 0 || p >= cfg.L2Partitions {
+			t.Fatalf("partition %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != cfg.L2Partitions {
+		t.Errorf("consecutive lines cover %d partitions, want %d", len(seen), cfg.L2Partitions)
+	}
+	// Bank ids stay in range.
+	for line := uint64(0); line < 10000; line += 97 {
+		b := h.bankOf(line)
+		if b < 0 || b >= cfg.MemControllers*cfg.BanksPerMC {
+			t.Fatalf("bank %d out of range for line %d", b, line)
+		}
+	}
+}

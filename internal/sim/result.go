@@ -1,0 +1,92 @@
+package sim
+
+import "spawnsim/internal/stats"
+
+// Result carries the metrics of one completed simulation.
+type Result struct {
+	// Cycles is the total execution time of the run.
+	Cycles uint64
+
+	// Occupancy is average active warps per cycle divided by the warp
+	// slots across all SMXs (the Figure 16 metric).
+	Occupancy float64
+
+	// L1HitRate and L2HitRate are aggregate cache hit rates
+	// (Figure 17 reports L2).
+	L1HitRate float64
+	L2HitRate float64
+
+	// ChildKernels is the number of device-side child kernels actually
+	// launched (Figure 18). DTBLGroups counts DTBL CTA-group launches.
+	ChildKernels int
+	DTBLGroups   int
+
+	// LaunchOffers counts launch-site candidates presented to the
+	// policy (one per parent thread with offloadable work).
+	LaunchOffers int
+
+	// OffloadedFraction is offloaded workload items / offered workload
+	// items (the Figure 5 x-axis).
+	OffloadedFraction float64
+
+	// QueueLatency is the mean cycles kernels waited in the GMU between
+	// pending-pool arrival and first CTA dispatch.
+	QueueLatency float64
+
+	// AvgConcurrentParentCTAs / AvgConcurrentChildCTAs are time-weighted
+	// means over the run.
+	AvgConcurrentParentCTAs float64
+	AvgConcurrentChildCTAs  float64
+
+	// ChildCTAExec holds per-child-CTA execution times (Figure 12).
+	ChildCTAExec *stats.Histogram
+
+	// LaunchCycles are the decision cycles of accepted device launches
+	// (Figure 20's CDF input).
+	LaunchCycles []uint64
+
+	// Time series (non-nil only when Options.SampleInterval > 0).
+	ParentCTASeries *stats.LevelSeries
+	ChildCTASeries  *stats.LevelSeries
+	UtilSeries      *stats.LevelSeries
+
+	// Memory system counters.
+	DRAMAccesses uint64
+	Transactions uint64
+}
+
+// result snapshots the metrics at the end of Run.
+func (g *GPU) result() *Result {
+	end := g.clock
+	totalWarpSlots := float64(g.cfg.NumSMX * g.cfg.MaxWarpsPerSM())
+	offload := 0.0
+	if g.offeredWork > 0 {
+		offload = float64(g.offloadedWork) / float64(g.offeredWork)
+	}
+	r := &Result{
+		Cycles:                  end,
+		Occupancy:               g.activeWarps.Average(end) / totalWarpSlots,
+		L1HitRate:               g.mem.L1HitRate(),
+		L2HitRate:               g.mem.L2HitRate(),
+		ChildKernels:            g.childKernels,
+		DTBLGroups:              g.dtblGroups,
+		LaunchOffers:            g.launchOffers,
+		OffloadedFraction:       offload,
+		QueueLatency:            g.gmu.QueueLatency.Value(),
+		AvgConcurrentParentCTAs: g.parentCTAs.Average(end),
+		AvgConcurrentChildCTAs:  g.childCTAs.Average(end),
+		ChildCTAExec:            &g.childCTAExec,
+		LaunchCycles:            g.launchCycles,
+		DRAMAccesses:            g.mem.DRAMAccesses,
+		Transactions:            g.mem.Transactions,
+	}
+	if g.parentSeries != nil {
+		g.parentSeries.Finish(end)
+		g.childSeries.Finish(end)
+		g.utilSeries.Finish(end)
+		r.ParentCTASeries = g.parentSeries
+		r.ChildCTASeries = g.childSeries
+		r.UtilSeries = g.utilSeries
+	}
+	return r
+}

@@ -1,0 +1,575 @@
+// Package sim wires the GPU together: SMXs, the GMU, the memory
+// hierarchy, and the active launch policy. It advances the global clock,
+// executes warp instruction streams, models launch overheads and
+// DeviceSynchronize semantics, and collects the metrics the paper's
+// evaluation reports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"spawnsim/internal/config"
+	"spawnsim/internal/sim/gmu"
+	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/sim/mem"
+	"spawnsim/internal/sim/smx"
+	"spawnsim/internal/stats"
+	"spawnsim/internal/trace"
+)
+
+// DefaultMaxCycles bounds a simulation that fails to terminate.
+const DefaultMaxCycles = 2_000_000_000
+
+// Options configures a GPU simulation.
+type Options struct {
+	Config     config.GPU
+	Policy     kernel.Policy
+	StreamMode kernel.StreamMode
+	// SampleInterval, when non-zero, enables the time-series used by
+	// Figures 6, 19 and 20 (one sample per SampleInterval cycles).
+	SampleInterval uint64
+	// MaxCycles aborts the run when exceeded (0 = DefaultMaxCycles).
+	MaxCycles uint64
+	// DTBLLaunchCycles is the latency for a DTBL CTA-group launch
+	// (0 = default 150 cycles; DTBL's point is that it is tiny compared
+	// to the kernel launch overhead).
+	DTBLLaunchCycles uint64
+	// Trace, when non-nil, records kernel/CTA lifecycle and launch
+	// decision events into the ring (see internal/trace).
+	Trace *trace.Ring
+}
+
+// flightItem is a kernel in launch transit toward the pending pool.
+type flightItem struct {
+	at   uint64
+	k    *kernel.Kernel
+	warp *kernel.Warp // launching warp (nil for host launches)
+}
+
+type flightHeap []flightItem
+
+func (h flightHeap) Len() int            { return len(h) }
+func (h flightHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h flightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flightHeap) Push(x interface{}) { *h = append(*h, x.(flightItem)) }
+func (h *flightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// GPU is one simulated GPU instance. Create with New, submit host
+// kernels with LaunchHost, then call Run.
+type GPU struct {
+	cfg  config.GPU
+	pol  kernel.Policy
+	mode kernel.StreamMode
+
+	mem  *mem.Hierarchy
+	gmu  *gmu.GMU
+	smxs []*smx.SMX
+
+	clock     uint64
+	ageSeq    uint64
+	kernelSeq int
+	streamSeq uint32
+	rrSMX     int
+
+	flight      flightHeap
+	liveKernels int
+
+	maxCycles uint64
+	dtblLat   uint64
+	tr        *trace.Ring
+
+	instr kernel.Instr
+
+	// Metrics.
+	activeWarps stats.TimeWeighted
+	parentCTAs  stats.TimeWeighted
+	childCTAs   stats.TimeWeighted
+
+	launchCycles  []uint64 // accepted device-launch decision cycles
+	childKernels  int
+	dtblGroups    int
+	launchOffers  int
+	offeredWork   int64
+	offloadedWork int64
+
+	childCTAExec stats.Histogram
+	childQueued  int
+
+	sampleInterval uint64
+	parentSeries   *stats.LevelSeries
+	childSeries    *stats.LevelSeries
+	utilSeries     *stats.LevelSeries
+}
+
+// New builds a GPU from the options. It panics on an invalid
+// configuration (a programming error, not an input error).
+func New(opts Options) *GPU {
+	if err := opts.Config.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.Policy == nil {
+		panic("sim: Options.Policy is nil")
+	}
+	g := &GPU{
+		cfg:       opts.Config,
+		pol:       opts.Policy,
+		mode:      opts.StreamMode,
+		mem:       mem.NewHierarchy(opts.Config),
+		gmu:       gmu.New(opts.Config),
+		maxCycles: opts.MaxCycles,
+		dtblLat:   opts.DTBLLaunchCycles,
+		tr:        opts.Trace,
+	}
+	if g.maxCycles == 0 {
+		g.maxCycles = DefaultMaxCycles
+	}
+	if g.dtblLat == 0 {
+		g.dtblLat = 150
+	}
+	for i := 0; i < opts.Config.NumSMX; i++ {
+		g.smxs = append(g.smxs, smx.New(i, &g.cfg))
+	}
+	if opts.SampleInterval > 0 {
+		g.sampleInterval = opts.SampleInterval
+		g.parentSeries = stats.NewLevelSeries(opts.SampleInterval)
+		g.childSeries = stats.NewLevelSeries(opts.SampleInterval)
+		g.utilSeries = stats.NewLevelSeries(opts.SampleInterval)
+	}
+	return g
+}
+
+// Clock returns the current simulation cycle.
+func (g *GPU) Clock() uint64 { return g.clock }
+
+// newStream issues a fresh software work queue id.
+func (g *GPU) newStream() kernel.StreamID {
+	g.streamSeq++
+	return kernel.StreamID(g.streamSeq)
+}
+
+// streamFor assigns the SWQ id for a child launched by warp w, honoring
+// the configured stream mode.
+func (g *GPU) streamFor(w *kernel.Warp) kernel.StreamID {
+	if g.mode == kernel.StreamPerParentCTA {
+		if w.CTA.ChildStream == 0 {
+			w.CTA.ChildStream = g.newStream()
+		}
+		return w.CTA.ChildStream
+	}
+	return g.newStream()
+}
+
+// LaunchHost submits a kernel from the host (step 1-4 of Figure 4).
+// It may be called before Run or from a completion-free point of view;
+// the kernel enters the pending pool at the current clock.
+func (g *GPU) LaunchHost(def *kernel.Def) *kernel.Kernel {
+	if err := def.Validate(); err != nil {
+		panic(err)
+	}
+	g.kernelSeq++
+	k := &kernel.Kernel{
+		ID:          g.kernelSeq,
+		Def:         def,
+		Stream:      g.newStream(),
+		LaunchCycle: g.clock,
+	}
+	g.liveKernels++
+	g.tr.Record(trace.Event{Cycle: g.clock, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
+	heap.Push(&g.flight, flightItem{at: g.clock, k: k})
+	return k
+}
+
+// launchChild creates and schedules a device-side child launch.
+func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandidate, aggregated bool) {
+	g.kernelSeq++
+	k := &kernel.Kernel{
+		ID:          g.kernelSeq,
+		Def:         cand.Def,
+		Parent:      w.CTA,
+		Aggregated:  aggregated,
+		Workload:    cand.Workload,
+		LaunchCycle: now,
+	}
+	var arrival uint64
+	if aggregated {
+		// DTBL thread-block launches serialize through the warp's
+		// aggregation path like kernel launches do, but roughly an
+		// order of magnitude cheaper (no grid setup, no GMU round trip).
+		k.Stream = 0
+		if w.LaunchPipeFree < now {
+			w.LaunchPipeFree = now
+		}
+		w.LaunchPipeFree += g.dtblLat
+		arrival = w.LaunchPipeFree + g.dtblLat
+		w.PendingLaunches++
+		g.dtblGroups++
+	} else {
+		k.Stream = g.streamFor(w)
+		// Per-warp serialized launch pipeline: the x-th concurrent
+		// launch from one warp arrives after A*x + b cycles (Table II).
+		if w.LaunchPipeFree < now {
+			w.LaunchPipeFree = now
+		}
+		w.LaunchPipeFree += uint64(g.cfg.LaunchOverheadA)
+		arrival = w.LaunchPipeFree + uint64(g.cfg.LaunchOverheadB)
+		w.PendingLaunches++
+		g.childKernels++
+	}
+	w.CTA.OutstandingChildren++
+	g.liveKernels++
+	g.offloadedWork += int64(cand.Workload)
+	g.launchCycles = append(g.launchCycles, now)
+	g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1, Extra: cand.Workload})
+	heap.Push(&g.flight, flightItem{at: arrival, k: k, warp: w})
+}
+
+// beginLaunch latches an InstrLaunch into the warp for (possibly
+// stalled, resumable) processing.
+func (g *GPU) beginLaunch(now uint64, w *kernel.Warp, in *kernel.Instr) {
+	w.LaunchBuf = append(w.LaunchBuf[:0], in.Candidates...)
+	w.LaunchCursor = 0
+	w.InLaunch = true
+	if cap(w.Exec.Accepted) < len(w.LaunchBuf) {
+		w.Exec.Accepted = make([]bool, len(w.LaunchBuf))
+	}
+	w.Exec.Accepted = w.Exec.Accepted[:len(w.LaunchBuf)]
+	g.stepLaunch(now, w)
+}
+
+// oldestPendingArrival estimates when the warp's oldest in-flight launch
+// reaches the pending pool (arrivals are spaced LaunchOverheadA apart,
+// the newest landing at LaunchPipeFree + LaunchOverheadB).
+func (g *GPU) oldestPendingArrival(now uint64, w *kernel.Warp) uint64 {
+	last := w.LaunchPipeFree + uint64(g.cfg.LaunchOverheadB)
+	span := uint64(w.PendingLaunches-1) * uint64(g.cfg.LaunchOverheadA)
+	t := now + 1
+	if last > span && last-span > t {
+		t = last - span
+	}
+	return t
+}
+
+// stepLaunch decides launch candidates until the instruction completes
+// or the warp's pending-launch pool fills; in the latter case the warp
+// stalls (each lane's device-launch API call needs a buffer slot, so
+// lanes serialize through the bounded pool) and resumes here later —
+// with the policy seeing the GPU state of the later cycle.
+func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
+	busy := 0
+	limit := g.cfg.MaxPendingLaunches
+	for w.LaunchCursor < len(w.LaunchBuf) {
+		if limit > 0 && w.PendingLaunches >= limit {
+			// Stall until a slot frees; decisions resume then.
+			w.ReadyAt = g.oldestPendingArrival(now, w)
+			if busy > 0 && now+uint64(busy) > w.ReadyAt {
+				w.ReadyAt = now + uint64(busy)
+			}
+			return
+		}
+		cand := &w.LaunchBuf[w.LaunchCursor]
+		site := kernel.LaunchSite{
+			Now:                 now,
+			Candidate:           cand,
+			ParentIsChild:       w.CTA.Kernel.IsChild(),
+			PendingWarpLaunches: w.PendingLaunches,
+			EstimatedOverhead:   uint64(g.cfg.LaunchLatency(w.PendingLaunches + 1)),
+		}
+		dec := g.pol.Decide(&site)
+		if dec.Action == kernel.Defer {
+			g.tr.Record(trace.Event{Cycle: now, Kind: trace.LaunchDeferred, CTA: -1, Extra: cand.Workload})
+			// The runtime holds this lane's API call; the warp blocks
+			// and the candidate is re-presented on resume.
+			wait := uint64(dec.APICycles)
+			if wait < 1 {
+				wait = 1
+			}
+			w.ReadyAt = now + wait
+			if busy > 0 && now+uint64(busy) > w.ReadyAt {
+				w.ReadyAt = now + uint64(busy)
+			}
+			return
+		}
+		g.launchOffers++
+		g.offeredWork += int64(cand.Workload)
+		busy += dec.APICycles
+		switch dec.Action {
+		case kernel.Serialize:
+			g.tr.Record(trace.Event{Cycle: now, Kind: trace.LaunchDeclined, CTA: -1, Extra: cand.Workload})
+			w.Exec.Accepted[w.LaunchCursor] = false
+		case kernel.LaunchKernel:
+			g.tr.Record(trace.Event{Cycle: now, Kind: trace.LaunchAccepted, CTA: -1, Extra: cand.Workload})
+			w.Exec.Accepted[w.LaunchCursor] = true
+			g.launchChild(now, w, cand, false)
+		case kernel.LaunchCTAs:
+			w.Exec.Accepted[w.LaunchCursor] = true
+			g.launchChild(now, w, cand, true)
+		default:
+			panic(fmt.Sprintf("sim: unknown action %v from policy %s", dec.Action, g.pol.Name()))
+		}
+		w.LaunchCursor++
+	}
+	w.InLaunch = false
+	if busy < 1 {
+		busy = 1
+	}
+	w.ReadyAt = now + uint64(busy)
+}
+
+// parkWarp removes a warp from scheduling (sync wait or retirement).
+func (g *GPU) parkWarp(now uint64, w *kernel.Warp, state kernel.WarpState) {
+	w.State = state
+	g.activeWarps.Add(now, -1)
+	if w.CTA.WarpRetired() {
+		g.ctaExecDone(now, w.CTA)
+	}
+}
+
+// execSync processes DeviceSynchronize.
+func (g *GPU) execSync(now uint64, w *kernel.Warp) {
+	if w.CTA.OutstandingChildren == 0 {
+		// Nothing to wait for; continue immediately.
+		w.ReadyAt = now + 1
+		return
+	}
+	g.parkWarp(now, w, kernel.WarpAtSync)
+}
+
+// retireWarp handles a program that returned no further instructions.
+func (g *GPU) retireWarp(now uint64, w *kernel.Warp) {
+	if w.CTA.Kernel.IsChild() {
+		g.pol.OnChildWarpFinish(now, w.CTA.StartCycle)
+	}
+	g.parkWarp(now, w, kernel.WarpDone)
+}
+
+// ctaExecDone fires when the last warp of a CTA retired or parked: the
+// CTA relinquishes its SMX resources (Section II-C). If children are
+// still outstanding the CTA waits detached; otherwise it completes.
+func (g *GPU) ctaExecDone(now uint64, c *kernel.CTA) {
+	g.smxs[c.SMX].Release(c)
+	g.noteCTALevel(now, c.Kernel.IsChild(), -1)
+	g.sampleUtilization(now)
+	if c.Kernel.IsChild() {
+		execTime := now - c.StartCycle
+		g.childCTAExec.Add(float64(execTime))
+		g.pol.OnChildCTAFinish(now, c.StartCycle, len(c.Warps))
+	}
+	if c.OutstandingChildren == 0 {
+		g.completeCTA(now, c)
+		return
+	}
+	c.State = kernel.CTAWaitingSync
+	g.tr.Record(trace.Event{Cycle: now, Kind: trace.CTASuspended, Kernel: c.Kernel.ID, CTA: c.Index})
+	k := c.Kernel
+	k.SuspendedCTAs++
+	if k.FullySuspended() {
+		// Every incomplete CTA of this kernel is blocked on children:
+		// release the HWQ slot so descendants can dispatch.
+		g.gmu.Yield(k)
+		g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+	}
+}
+
+// completeCTA finalizes a CTA whose warps retired and children drained.
+func (g *GPU) completeCTA(now uint64, c *kernel.CTA) {
+	if c.State == kernel.CTAWaitingSync {
+		c.Kernel.SuspendedCTAs--
+	}
+	c.State = kernel.CTADone
+	g.tr.Record(trace.Event{Cycle: now, Kind: trace.CTACompleted, Kernel: c.Kernel.ID, CTA: c.Index})
+	for _, w := range c.Warps {
+		w.State = kernel.WarpDone
+	}
+	k := c.Kernel
+	k.CTAsDone++
+	if k.Done() {
+		g.completeKernel(now, k)
+		return
+	}
+	if k.FullySuspended() && !k.Yielded {
+		// The last non-suspended CTA just completed: the kernel now only
+		// waits on children and must release its HWQ slot.
+		g.gmu.Yield(k)
+		g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+	}
+}
+
+// completeKernel retires a kernel and wakes its parent CTA if this was
+// the last outstanding child (completion can cascade through nesting).
+func (g *GPU) completeKernel(now uint64, k *kernel.Kernel) {
+	k.DoneCycle = now
+	g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
+	g.gmu.KernelCompleted(k)
+	g.liveKernels--
+	if p := k.Parent; p != nil {
+		p.OutstandingChildren--
+		if p.OutstandingChildren == 0 && p.State == kernel.CTAWaitingSync {
+			g.completeCTA(now, p)
+		}
+	}
+}
+
+// noteCTALevel maintains the concurrent parent/child CTA levels.
+func (g *GPU) noteCTALevel(now uint64, child bool, delta int64) {
+	if child {
+		g.childCTAs.Add(now, delta)
+		if g.childSeries != nil {
+			g.childSeries.Set(now, float64(g.childCTAs.Level()))
+		}
+	} else {
+		g.parentCTAs.Add(now, delta)
+		if g.parentSeries != nil {
+			g.parentSeries.Set(now, float64(g.parentCTAs.Level()))
+		}
+	}
+}
+
+// sampleUtilization records the average Section III-A1 resource
+// utilization across SMXs at a change point.
+func (g *GPU) sampleUtilization(now uint64) {
+	if g.utilSeries == nil {
+		return
+	}
+	sum := 0.0
+	for _, m := range g.smxs {
+		sum += m.Utilization()
+	}
+	g.utilSeries.Set(now, sum/float64(len(g.smxs)))
+}
+
+// place attempts to dispatch the next CTA of k onto some SMX
+// (round-robin CTA scheduler).
+func (g *GPU) place(k *kernel.Kernel) bool {
+	d := k.Def
+	threads := d.CTAThreads
+	regs := d.RegsPerThread * d.CTAThreads
+	shmem := d.SharedMemBytes
+	for i := 0; i < len(g.smxs); i++ {
+		m := g.smxs[(g.rrSMX+i)%len(g.smxs)]
+		if !m.FitsRes(threads, regs, shmem) {
+			continue
+		}
+		g.rrSMX = (g.rrSMX + i + 1) % len(g.smxs)
+		c := kernel.NewCTA(k, k.NextCTA, g.cfg.WarpSize)
+		k.NextCTA++
+		m.Place(g.clock, c, &g.ageSeq)
+		g.tr.Record(trace.Event{Cycle: g.clock, Kind: trace.CTAPlaced, Kernel: k.ID, CTA: c.Index, Extra: m.ID})
+		g.activeWarps.Add(g.clock, int64(len(c.Warps)))
+		g.noteCTALevel(g.clock, k.IsChild(), 1)
+		g.sampleUtilization(g.clock)
+		if k.IsChild() {
+			g.pol.OnChildCTAStart(g.clock)
+		}
+		return true
+	}
+	return false
+}
+
+// execute issues the next instruction of warp w at cycle now.
+func (g *GPU) execute(now uint64, w *kernel.Warp) {
+	if w.InLaunch {
+		g.stepLaunch(now, w)
+		return
+	}
+	in := &g.instr
+	in.Reset()
+	if !w.Prog.Next(&w.Exec, in) {
+		g.retireWarp(now, w)
+		return
+	}
+	switch in.Kind {
+	case kernel.InstrALU:
+		lat := uint64(in.Lat)
+		if lat < 1 {
+			lat = 1
+		}
+		w.ReadyAt = now + lat
+	case kernel.InstrMem:
+		w.ReadyAt = g.mem.Access(now, w.CTA.SMX, in.Addrs)
+	case kernel.InstrLaunch:
+		g.beginLaunch(now, w, in)
+	case kernel.InstrSync:
+		g.execSync(now, w)
+	default:
+		panic(fmt.Sprintf("sim: unknown instruction kind %v", in.Kind))
+	}
+}
+
+// processArrivals moves launch-flight kernels that reached the pending
+// pool into the GMU. Returns true if anything arrived.
+func (g *GPU) processArrivals(now uint64) bool {
+	any := false
+	for len(g.flight) > 0 && g.flight[0].at <= now {
+		it := heap.Pop(&g.flight).(flightItem)
+		it.k.ArrivalCycle = now
+		if it.warp != nil {
+			it.warp.PendingLaunches--
+		}
+		if it.k.IsChild() {
+			g.childQueued++
+			g.pol.OnChildQueued(now, it.k.Def.GridCTAs)
+		}
+		g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelArrived, Kernel: it.k.ID, CTA: -1})
+		g.gmu.Enqueue(it.k)
+		any = true
+	}
+	return any
+}
+
+// Run simulates until every submitted kernel (and its descendants)
+// completes, returning the collected metrics.
+func (g *GPU) Run() (*Result, error) {
+	if g.liveKernels == 0 {
+		return nil, fmt.Errorf("sim: Run called with no kernels submitted")
+	}
+	for g.liveKernels > 0 {
+		now := g.clock
+		if now > g.maxCycles {
+			return nil, fmt.Errorf("sim: exceeded max cycles (%d) with %d kernels outstanding",
+				g.maxCycles, g.liveKernels)
+		}
+		activity := g.processArrivals(now)
+		if g.gmu.HasDispatchable() && g.gmu.Dispatch(now, g.place) > 0 {
+			activity = true
+		}
+		for _, m := range g.smxs {
+			for si := 0; si < m.Schedulers(); si++ {
+				if w := m.Pick(si, now); w != nil {
+					g.execute(now, w)
+					activity = true
+				}
+			}
+		}
+		if activity {
+			g.clock = now + 1
+			continue
+		}
+		// Quiescent: fast-forward to the next event.
+		next := uint64(smx.NoEvent)
+		for _, m := range g.smxs {
+			if r := m.NextReady(); r < next {
+				next = r
+			}
+		}
+		if len(g.flight) > 0 && g.flight[0].at < next {
+			next = g.flight[0].at
+		}
+		if next == uint64(smx.NoEvent) {
+			return nil, fmt.Errorf("sim: deadlock at cycle %d: %d kernels outstanding, %d queued, %d pending CTAs",
+				now, g.liveKernels, g.gmu.QueuedKernels(), g.gmu.PendingCTAs())
+		}
+		if next <= now {
+			g.clock = now + 1
+		} else {
+			g.clock = next
+		}
+	}
+	return g.result(), nil
+}

@@ -1,0 +1,210 @@
+// Package smx models one streaming multiprocessor: CTA slots, the
+// register/shared-memory/thread resource pools, and the dual
+// Greedy-Then-Oldest (GTO) warp schedulers of Table II.
+package smx
+
+import (
+	"fmt"
+	"math"
+
+	"spawnsim/internal/config"
+	"spawnsim/internal/sim/kernel"
+)
+
+// NoEvent is returned by NextReady when no warp will ever become ready.
+const NoEvent = math.MaxUint64
+
+// scheduler is one GTO warp scheduler: it keeps issuing from the current
+// (greedy) warp until it stalls, then switches to the oldest ready warp.
+type scheduler struct {
+	warps  []*kernel.Warp // age order (append order)
+	greedy *kernel.Warp
+	// minReady is a conservative lower bound on the earliest cycle any
+	// warp here can issue; pick() refreshes it, Place() lowers it.
+	minReady uint64
+}
+
+// prune drops retired warps from the front-to-back scan list.
+func (s *scheduler) prune() {
+	live := s.warps[:0]
+	for _, w := range s.warps {
+		if w.State == kernel.WarpReady {
+			live = append(live, w)
+		}
+	}
+	s.warps = live
+}
+
+// pick returns a warp that may issue at `now`, or nil. On a miss it
+// refreshes minReady so idle schedulers can be skipped cheaply.
+func (s *scheduler) pick(now uint64) *kernel.Warp {
+	if s.minReady > now {
+		return nil
+	}
+	if g := s.greedy; g != nil && g.State == kernel.WarpReady && g.ReadyAt <= now {
+		return g
+	}
+	needPrune := false
+	min := uint64(NoEvent)
+	for _, w := range s.warps {
+		if w.State != kernel.WarpReady {
+			needPrune = true
+			continue
+		}
+		if w.ReadyAt <= now {
+			s.greedy = w
+			if needPrune {
+				s.prune()
+			}
+			// Another warp may also be ready this cycle.
+			s.minReady = now
+			return w
+		}
+		if w.ReadyAt < min {
+			min = w.ReadyAt
+		}
+	}
+	if needPrune {
+		s.prune()
+	}
+	s.greedy = nil
+	s.minReady = min
+	return nil
+}
+
+// nextReady returns the cached earliest issue cycle (a lower bound).
+func (s *scheduler) nextReady() uint64 { return s.minReady }
+
+// SMX is one streaming multiprocessor.
+type SMX struct {
+	ID  int
+	cfg *config.GPU
+
+	freeThreads int
+	freeRegs    int
+	freeShmem   int
+	freeCTAs    int
+
+	scheds []scheduler
+
+	resident []*kernel.CTA
+}
+
+// New creates an SMX with full resources.
+func New(id int, cfg *config.GPU) *SMX {
+	return &SMX{
+		ID:          id,
+		cfg:         cfg,
+		freeThreads: cfg.MaxThreadsPerSM,
+		freeRegs:    cfg.RegistersPerSM,
+		freeShmem:   cfg.SharedMemPerSM,
+		freeCTAs:    cfg.MaxCTAsPerSM,
+		scheds:      make([]scheduler, cfg.SchedulersPerSM),
+	}
+}
+
+// Fits reports whether CTA c can be placed now.
+func (m *SMX) Fits(c *kernel.CTA) bool {
+	return m.FitsRes(c.Threads, c.Regs, c.SharedMem)
+}
+
+// FitsRes reports whether a CTA with the given resource footprint can be
+// placed now (used to check a Def before materializing the CTA).
+func (m *SMX) FitsRes(threads, regs, shmem int) bool {
+	return threads <= m.freeThreads &&
+		regs <= m.freeRegs &&
+		shmem <= m.freeShmem &&
+		m.freeCTAs >= 1
+}
+
+// Place reserves resources for c and registers its warps with the
+// schedulers (alternating by warp index). ageSeq provides monotonically
+// increasing ages for GTO ordering.
+func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
+	if !m.Fits(c) {
+		panic(fmt.Sprintf("smx %d: placing CTA that does not fit", m.ID))
+	}
+	m.freeThreads -= c.Threads
+	m.freeRegs -= c.Regs
+	m.freeShmem -= c.SharedMem
+	m.freeCTAs--
+	c.SMX = m.ID
+	c.State = kernel.CTARunning
+	c.StartCycle = now
+	m.resident = append(m.resident, c)
+	for i, w := range c.Warps {
+		*ageSeq++
+		w.Age = *ageSeq
+		w.ReadyAt = now
+		w.State = kernel.WarpReady
+		sc := &m.scheds[i%len(m.scheds)]
+		sc.warps = append(sc.warps, w)
+		if sc.minReady > now {
+			sc.minReady = now
+		}
+	}
+}
+
+// Release frees the resources held by c (CTA completion or
+// relinquishment at a synchronization point).
+func (m *SMX) Release(c *kernel.CTA) {
+	if c.SMX != m.ID {
+		panic(fmt.Sprintf("smx %d: releasing CTA resident on smx %d", m.ID, c.SMX))
+	}
+	m.freeThreads += c.Threads
+	m.freeRegs += c.Regs
+	m.freeShmem += c.SharedMem
+	m.freeCTAs++
+	for i, r := range m.resident {
+		if r == c {
+			m.resident = append(m.resident[:i], m.resident[i+1:]...)
+			break
+		}
+	}
+	c.SMX = -1
+}
+
+// Schedulers returns the scheduler count.
+func (m *SMX) Schedulers() int { return len(m.scheds) }
+
+// Pick returns a warp eligible to issue on scheduler si at `now`, or nil.
+func (m *SMX) Pick(si int, now uint64) *kernel.Warp {
+	return m.scheds[si].pick(now)
+}
+
+// NextReady returns the earliest cycle any warp on this SMX can issue.
+func (m *SMX) NextReady() uint64 {
+	min := uint64(NoEvent)
+	for i := range m.scheds {
+		if r := m.scheds[i].nextReady(); r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// ResidentCTAs reports CTAs currently holding resources.
+func (m *SMX) ResidentCTAs() int { return len(m.resident) }
+
+// Utilization returns the Section III-A1 resource utilization of this
+// SMX: the maximum of register-file, shared-memory, and thread-slot
+// utilization.
+func (m *SMX) Utilization() float64 {
+	r := 1 - float64(m.freeRegs)/float64(m.cfg.RegistersPerSM)
+	s := 1 - float64(m.freeShmem)/float64(m.cfg.SharedMemPerSM)
+	t := 1 - float64(m.freeThreads)/float64(m.cfg.MaxThreadsPerSM)
+	u := r
+	if s > u {
+		u = s
+	}
+	if t > u {
+		u = t
+	}
+	return u
+}
+
+// FreeThreads exposes the free thread slots (tests/diagnostics).
+func (m *SMX) FreeThreads() int { return m.freeThreads }
+
+// FreeCTASlots exposes the free CTA slots.
+func (m *SMX) FreeCTASlots() int { return m.freeCTAs }

@@ -1,0 +1,161 @@
+// Package trace records structured simulator events — kernel and CTA
+// lifecycle transitions, launch decisions — for debugging and for
+// post-hoc analysis of a run. Tracing is opt-in (sim.Options.Trace) and
+// bounded: the ring keeps the most recent events.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind enumerates traced event types.
+type Kind uint8
+
+const (
+	// KernelSubmitted: a kernel entered launch flight (host or device).
+	KernelSubmitted Kind = iota
+	// KernelArrived: a kernel reached the GMU pending pool.
+	KernelArrived
+	// KernelCompleted: all CTAs of a kernel finished.
+	KernelCompleted
+	// KernelYielded: a fully suspended kernel released its HWQ slot.
+	KernelYielded
+	// CTAPlaced: a CTA started executing on an SMX.
+	CTAPlaced
+	// CTASuspended: a CTA relinquished resources at DeviceSynchronize.
+	CTASuspended
+	// CTACompleted: a CTA fully completed (children drained).
+	CTACompleted
+	// LaunchAccepted / LaunchDeclined / LaunchDeferred: policy outcomes.
+	LaunchAccepted
+	LaunchDeclined
+	LaunchDeferred
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KernelSubmitted:
+		return "kernel-submitted"
+	case KernelArrived:
+		return "kernel-arrived"
+	case KernelCompleted:
+		return "kernel-completed"
+	case KernelYielded:
+		return "kernel-yielded"
+	case CTAPlaced:
+		return "cta-placed"
+	case CTASuspended:
+		return "cta-suspended"
+	case CTACompleted:
+		return "cta-completed"
+	case LaunchAccepted:
+		return "launch-accepted"
+	case LaunchDeclined:
+		return "launch-declined"
+	case LaunchDeferred:
+		return "launch-deferred"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	Cycle  uint64
+	Kind   Kind
+	Kernel int // kernel id (0 = n/a)
+	CTA    int // CTA index within the kernel (-1 = n/a)
+	Extra  int // kind-specific payload (workload, SMX id, ...)
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10d %-18s", e.Cycle, e.Kind)
+	if e.Kernel != 0 {
+		fmt.Fprintf(&b, " kernel=%d", e.Kernel)
+	}
+	if e.CTA >= 0 {
+		fmt.Fprintf(&b, " cta=%d", e.CTA)
+	}
+	if e.Extra != 0 {
+		fmt.Fprintf(&b, " extra=%d", e.Extra)
+	}
+	return b.String()
+}
+
+// Ring is a bounded event recorder. The zero value is disabled; create
+// with New. Not safe for concurrent use (the simulator is
+// single-threaded).
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// New creates a ring holding up to n events.
+func New(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Record appends an event (overwriting the oldest when full).
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+}
+
+// Total reports how many events were recorded overall (including
+// overwritten ones).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Counts tallies retained events per kind.
+func (r *Ring) Counts() map[Kind]int {
+	m := map[Kind]int{}
+	for _, e := range r.Events() {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Dump writes the retained events, one per line.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

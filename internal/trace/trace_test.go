@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := New(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Cycle: uint64(i), Kind: KernelSubmitted, Kernel: i, CTA: -1})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Kernel != i+3 {
+			t.Errorf("event %d kernel = %d, want %d (chronological)", i, e.Kernel, i+3)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Record(Event{}) // must not panic
+	if r.Events() != nil || r.Total() != 0 {
+		t.Error("nil ring should be empty")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := New(10)
+	r.Record(Event{Kind: LaunchAccepted})
+	r.Record(Event{Kind: LaunchAccepted})
+	r.Record(Event{Kind: LaunchDeclined})
+	c := r.Counts()
+	if c[LaunchAccepted] != 2 || c[LaunchDeclined] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := New(4)
+	r.Record(Event{Cycle: 42, Kind: CTAPlaced, Kernel: 7, CTA: 3, Extra: 5})
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"42", "cta-placed", "kernel=7", "cta=3", "extra=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %s", want, out)
+		}
+	}
+	for k := KernelSubmitted; k <= LaunchDeferred; k++ {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+}

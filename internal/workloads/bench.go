@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"fmt"
+
+	"spawnsim/internal/inputs"
+)
+
+// Benchmark is one <application, input> pair of Table I. Make builds a
+// fresh App (apps hold closures over their input and are cheap to
+// reconstruct; rebuilding per run keeps runs independent).
+type Benchmark struct {
+	Name string
+	Make func() *App
+}
+
+// Input sizes and seeds: scaled so a full figure regenerates in seconds
+// while preserving the workload distributions that drive the phenomena
+// (see DESIGN.md §4).
+const (
+	citationN   = 65536
+	citationDeg = 8
+	g500Scale   = 16
+	g500Deg     = 10
+	joinN       = 32768
+	joinMatches = 48
+	mandelPix   = 131072
+	mandelIter  = 256
+	mandelRgn   = 128
+	mmSmallN    = 2048
+	mmSmallCols = 64
+	mmLargeN    = 4096
+	mmLargeCols = 128
+	saReadsN    = 16384
+	amrCells    = 16384
+)
+
+// Registry returns the 13 benchmarks of Table I, in the paper's
+// Figure 15 order.
+func Registry() []Benchmark {
+	return []Benchmark{
+		{"AMR", func() *App { return NewAMR(inputs.NewAMRMesh(amrCells, 109)) }},
+		{"BFS-citation", func() *App { return NewBFS(inputs.Citation(citationN, citationDeg, 101)) }},
+		{"BFS-graph500", func() *App { return NewBFS(inputs.Graph500(g500Scale, g500Deg, 102)) }},
+		{"SSSP-citation", func() *App { return NewSSSP(inputs.Citation(citationN, citationDeg, 101)) }},
+		{"SSSP-graph500", func() *App { return NewSSSP(inputs.Graph500(g500Scale, g500Deg, 102)) }},
+		{"JOIN-uniform", func() *App { return NewJoin("join-uniform", inputs.UniformRelation(joinN, joinMatches, 103)) }},
+		{"JOIN-gaussian", func() *App { return NewJoin("join-gaussian", inputs.GaussianRelation(joinN, joinMatches, 14, 104)) }},
+		{"GC-citation", func() *App { return NewGC(inputs.Citation(citationN, citationDeg, 101)) }},
+		{"GC-graph500", func() *App { return NewGC(inputs.Graph500(g500Scale, g500Deg, 102)) }},
+		{"Mandel", func() *App { return NewMandel(inputs.NewMandelGrid(mandelPix, mandelIter), mandelRgn) }},
+		{"MM-small", func() *App { return NewMM(inputs.NewSparseMatrix(mmSmallN, mmSmallCols, 8, 105)) }},
+		{"MM-large", func() *App { return NewMM(inputs.NewSparseMatrix(mmLargeN, mmLargeCols, 10, 106)) }},
+		{"SA-thaliana", func() *App { return NewSA("sa-thaliana", inputs.ThalianaReads(saReadsN, 107)) }},
+	}
+}
+
+// Extra benchmarks used only by the Figure 21 (DTBL) comparison.
+func Figure21Extras() []Benchmark {
+	return []Benchmark{
+		{"SA-elegans", func() *App { return NewSA("sa-elegans", inputs.ElegansReads(saReadsN, 108)) }},
+	}
+}
+
+// ByName returns the benchmark with the given name from the registry
+// (including Figure 21 extras).
+func ByName(name string) (Benchmark, error) {
+	for _, b := range append(Registry(), Figure21Extras()...) {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Names lists the registry benchmark names in order.
+func Names() []string {
+	r := Registry()
+	out := make([]string, len(r))
+	for i, b := range r {
+		out[i] = b.Name
+	}
+	return out
+}
