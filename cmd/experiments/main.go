@@ -24,12 +24,21 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id: table1|table2|fig5|fig6|fig7|fig8|fig12|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablation|hwq")
-		bench = flag.String("bench", "", "restrict fig5 to one benchmark")
-		all   = flag.Bool("all", false, "run every experiment")
-		csv   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		exp        = flag.String("exp", "", "experiment id: table1|table2|fig5|fig6|fig7|fig8|fig12|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablation|hwq")
+		bench      = flag.String("bench", "", "restrict fig5 to one benchmark")
+		all        = flag.Bool("all", false, "run every experiment")
+		csv        = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		metricsDir = flag.String("metrics", "", "dump a per-run metrics snapshot (metrics-<bench>-<scheme>.json) into this directory")
 	)
 	flag.Parse()
+
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		harness.RunObserver = metricsDumper(*metricsDir)
+	}
 
 	ids := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig12",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablation", "hwq"}
@@ -49,6 +58,23 @@ func main() {
 	if err := run(*exp, *bench, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+}
+
+// metricsDumper returns a harness.RunObserver that writes every run's
+// metrics snapshot to <dir>/metrics-<bench>-<scheme>.json. Scheme names
+// like "threshold:512" are sanitized for the filesystem; repeated runs
+// of the same (bench, scheme) pair overwrite, keeping the latest.
+func metricsDumper(dir string) func(*harness.Outcome) {
+	return func(out *harness.Outcome) {
+		if out.Metrics == nil {
+			return
+		}
+		scheme := strings.ReplaceAll(out.Spec.Scheme, ":", "-")
+		path := filepath.Join(dir, fmt.Sprintf("metrics-%s-%s.json", out.Spec.Benchmark, scheme))
+		if err := out.Metrics.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	spawnsim -bench BFS-graph500 -scheme spawn
 //	spawnsim -bench MM-small -scheme threshold:512 -ctasize 64
 //	spawnsim -bench SA-thaliana -scheme baseline -series
+//	spawnsim -bench BFS-graph500 -scheme spawn -perfetto-out trace.json -metrics-out metrics.json
 //	spawnsim -list
 //
 // Schemes: flat, baseline, offline, spawn, dtbl, threshold:N.
@@ -14,10 +15,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 
+	"spawnsim/internal/config"
 	"spawnsim/internal/harness"
+	"spawnsim/internal/metrics"
+	"spawnsim/internal/sim"
 	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/trace"
 	"spawnsim/internal/workloads"
 )
 
@@ -28,8 +36,16 @@ func main() {
 		ctaSize = flag.Int("ctasize", 0, "override child CTA size (threads)")
 		perCTA  = flag.Bool("stream-per-cta", false, "one SWQ per parent CTA instead of per child kernel")
 		series  = flag.Bool("series", false, "print concurrency/utilization time series")
-		traceN  = flag.Int("trace", 0, "print the last N simulator events")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
+		traceN  = flag.Int("trace", 0, "print the last N simulator events (bounded ring; use -trace-out for the full stream)")
+
+		metricsOut  = flag.String("metrics-out", "", "dump end-of-run metrics snapshot to this file (.csv for CSV, JSON otherwise)")
+		traceOut    = flag.String("trace-out", "", "stream every simulator event to this JSONL file (full stream, unlike the -trace N tail)")
+		perfettoOut = flag.String("perfetto-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev or chrome://tracing)")
+		heartbeatN  = flag.Uint64("heartbeat", 0, "print a progress heartbeat to stderr every N simulated cycles (0 = off)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+
+		list = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 
@@ -39,6 +55,24 @@ func main() {
 		}
 		fmt.Println("SA-elegans (Figure 21 only)")
 		return
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "spawnsim: pprof:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	spec := harness.Spec{
@@ -53,14 +87,73 @@ func main() {
 		spec.SampleInterval = 2000
 	}
 	spec.TraceEvents = *traceN
-	out, err := harness.Run(spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "spawnsim:", err)
-		os.Exit(1)
+	if *metricsOut != "" {
+		spec.Metrics = metrics.NewRegistry()
 	}
+
+	var sinks []trace.Sink
+	var files []*os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, f)
+		sinks = append(sinks, trace.NewJSONL(f))
+	}
+	if *perfettoOut != "" {
+		f, err := os.Create(*perfettoOut)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, f)
+		cfg := spec.Config
+		if cfg == nil {
+			k := config.K20m()
+			cfg = &k
+		}
+		sinks = append(sinks, trace.NewPerfetto(f, cfg.NumSMX))
+	}
+	spec.TraceSinks = sinks
+
+	if *heartbeatN > 0 {
+		spec.HeartbeatEvery = *heartbeatN
+		spec.Heartbeat = func(p sim.Progress) {
+			fmt.Fprintf(os.Stderr, "heartbeat: cycle %d, %d live kernels (%d queued), %.2fM sim-cycles/s\n",
+				p.Cycle, p.LiveKernels, p.QueuedKernels, p.CyclesPerSec/1e6)
+		}
+	}
+
+	out, err := harness.Run(spec)
+
+	// Close sinks before checking the run error so partial traces are
+	// flushed (Perfetto closes dangling spans) even on failure.
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	for _, f := range files {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Println(out.Summary())
 	if out.Threshold >= 0 {
 		fmt.Printf("static THRESHOLD used: %d\n", out.Threshold)
+	}
+	if *metricsOut != "" {
+		if out.Metrics == nil {
+			fatal(fmt.Errorf("no metrics snapshot collected"))
+		}
+		if err := out.Metrics.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics snapshot (%d series) written to %s\n", len(out.Metrics.Metrics), *metricsOut)
 	}
 	if *series {
 		ss := out.Result
@@ -70,10 +163,14 @@ func main() {
 	if *traceN > 0 {
 		fmt.Printf("last %d of %d simulator events:\n", len(out.Trace.Events()), out.Trace.Total())
 		if err := out.Trace.Dump(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "spawnsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spawnsim:", err)
+	os.Exit(1)
 }
 
 // compact truncates long series for terminal output.

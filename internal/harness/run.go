@@ -11,12 +11,20 @@ import (
 	"spawnsim/internal/config"
 	spawn "spawnsim/internal/core"
 	"spawnsim/internal/dtbl"
+	"spawnsim/internal/metrics"
 	"spawnsim/internal/runtime"
 	"spawnsim/internal/sim"
 	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/trace"
 	"spawnsim/internal/workloads"
 )
+
+// RunObserver, when non-nil, receives every completed Outcome, including
+// the intermediate runs of sweeps (Offline-Search, Figure 5). When set,
+// runs without a caller-supplied Spec.Metrics registry get a fresh one,
+// so the observer always sees a metrics snapshot. cmd/experiments uses
+// this to dump per-run metrics alongside the figure CSVs.
+var RunObserver func(*Outcome)
 
 // Scheme names accepted by Run.
 const (
@@ -41,6 +49,17 @@ type Spec struct {
 	// TraceEvents, when non-zero, records the last N simulator events
 	// into Outcome.Trace.
 	TraceEvents int
+	// TraceSinks receive the full event stream (JSONL, Perfetto, ...).
+	// Unlike the TraceEvents ring these see every event, and the caller
+	// keeps ownership: the harness never closes them.
+	TraceSinks []trace.Sink
+	// Metrics, when non-nil, is instrumented into the simulator and
+	// snapshotted into Outcome.Metrics after the run.
+	Metrics *metrics.Registry
+	// Heartbeat, when non-nil, receives periodic progress callbacks
+	// every HeartbeatEvery cycles (simulator default when zero).
+	Heartbeat      func(sim.Progress)
+	HeartbeatEvery uint64
 	// Config overrides the GPU configuration (zero value = K20m).
 	Config *config.GPU
 }
@@ -54,6 +73,9 @@ type Outcome struct {
 	TotalWork int64
 	// Trace holds recorded simulator events when Spec.TraceEvents > 0.
 	Trace *trace.Ring
+	// Metrics is the end-of-run registry snapshot when metrics were
+	// enabled (Spec.Metrics or RunObserver), nil otherwise.
+	Metrics *metrics.Snapshot
 }
 
 func (s Spec) config() config.GPU {
@@ -139,19 +161,35 @@ func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, erro
 	if spec.TraceEvents > 0 {
 		ring = trace.New(spec.TraceEvents)
 	}
+	reg := spec.Metrics
+	if reg == nil && RunObserver != nil {
+		reg = metrics.NewRegistry()
+	}
 	g := sim.New(sim.Options{
 		Config:         cfg,
 		Policy:         pol,
 		StreamMode:     spec.StreamMode,
 		SampleInterval: spec.SampleInterval,
 		Trace:          ring,
+		Sinks:          spec.TraceSinks,
+		Metrics:        reg,
+		Heartbeat:      spec.Heartbeat,
+		HeartbeatEvery: spec.HeartbeatEvery,
 	})
 	g.LaunchHost(def)
 	res, err := g.Run()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", spec.Benchmark, pol.Name(), err)
 	}
-	return &Outcome{Spec: spec, Threshold: -1, Result: res, TotalWork: app.TotalWork(), Trace: ring}, nil
+	out := &Outcome{Spec: spec, Threshold: -1, Result: res, TotalWork: app.TotalWork(), Trace: ring}
+	if reg != nil {
+		snap := reg.Snapshot(res.Cycles)
+		out.Metrics = &snap
+	}
+	if RunObserver != nil {
+		RunObserver(out)
+	}
+	return out, nil
 }
 
 // OffloadTargets are the Figure 5 sweep points (fractions of the
@@ -185,6 +223,10 @@ func OfflineSearch(spec Spec) (*Outcome, error) {
 	for _, t := range SweepThresholds(app) {
 		s := spec
 		s.Scheme = fmt.Sprintf("threshold:%d", t)
+		// Observability attaches only to the winning run below, not to
+		// every sweep candidate: sinks would interleave unrelated runs
+		// and the registry would keep only the last candidate anyway.
+		s.Metrics, s.TraceSinks = nil, nil
 		out, err := Run(s)
 		if err != nil {
 			return nil, err
@@ -195,6 +237,15 @@ func OfflineSearch(spec Spec) (*Outcome, error) {
 	}
 	if best == nil {
 		return nil, fmt.Errorf("harness: offline search found no candidates for %s", spec.Benchmark)
+	}
+	if spec.Metrics != nil || len(spec.TraceSinks) > 0 {
+		s := spec
+		s.Scheme = fmt.Sprintf("threshold:%d", best.Threshold)
+		out, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		best = out
 	}
 	best.Spec.Scheme = SchemeOffline
 	return best, nil

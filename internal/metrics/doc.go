@@ -1,0 +1,29 @@
+// Package metrics is the simulator-wide observability registry: named
+// counters, gauges and power-of-two latency histograms with label
+// dimensions (per-SMX, per-GMU-queue, per-L2-partition, per-launch-site).
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Every constructor on a nil *Registry
+//     returns a nil instrument, and every instrument method no-ops on a
+//     nil receiver, so an uninstrumented run pays one predictable branch
+//     per call site and no allocation. Components that already maintain
+//     their own counters (the caches, the clock) are exported through
+//     lazy CounterFunc/GaugeFunc collectors that are only evaluated at
+//     snapshot time, making their hot paths literally free.
+//
+//  2. Snapshot-able mid-run. Registry.Snapshot copies every instrument
+//     (evaluating collectors) into a sorted, deterministic Snapshot that
+//     serializes to JSON or CSV — the `-metrics-out` flag of cmd/spawnsim
+//     and the per-run dumps of cmd/experiments.
+//
+//  3. Single-threaded hot path. The simulator is single-threaded, so
+//     instruments take no locks; only registration and snapshotting are
+//     mutex-guarded (they are rare and off the hot path).
+//
+// Instrumentation lives next to the component it measures: sim registers
+// engine-level series (placement stalls, launch transit, per-site policy
+// decisions), gmu the queue series, smx the per-SMX series, and mem the
+// per-partition cache and DRAM series. See the Observability section of
+// README.md for the emitted names.
+package metrics

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON emits the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV emits the snapshot as CSV with one row per instrument
+// (histograms are summarized as count/sum/mean/min/max; buckets are
+// JSON-only). Labels are rendered "key=value;key=value".
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "labels", "type", "value", "count", "sum", "min", "max"}); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		var lb strings.Builder
+		for i, l := range m.Labels {
+			if i > 0 {
+				lb.WriteByte(';')
+			}
+			lb.WriteString(l.Key)
+			lb.WriteByte('=')
+			lb.WriteString(l.Value)
+		}
+		rec := []string{
+			m.Name,
+			lb.String(),
+			m.Type,
+			strconv.FormatFloat(m.Value, 'g', -1, 64),
+			strconv.FormatUint(m.Count, 10),
+			strconv.FormatFloat(m.Sum, 'g', -1, 64),
+			strconv.FormatUint(m.Min, 10),
+			strconv.FormatUint(m.Max, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile dumps the snapshot to path, choosing the format from the
+// extension: ".csv" writes CSV, anything else writes JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = s.WriteCSV(f)
+	} else {
+		werr = s.WriteJSON(f)
+	}
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("metrics: writing %s: %w", path, werr)
+	}
+	return cerr
+}

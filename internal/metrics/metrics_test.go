@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	r.CounterFunc("cf", func() float64 { return 1 })
+	r.GaugeFunc("gf", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	g.SetMax(9)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	snap := r.Snapshot(7)
+	if len(snap.Metrics) != 0 || snap.Cycle != 7 {
+		t.Errorf("nil registry snapshot = %+v", snap)
+	}
+}
+
+func TestCounterGaugeAndLabels(t *testing.T) {
+	r := NewRegistry()
+	c0 := r.Counter("ctas_placed", "smx", "0")
+	c1 := r.Counter("ctas_placed", "smx", "1")
+	c0.Inc()
+	c0.Inc()
+	c1.Add(5)
+	g := r.Gauge("depth")
+	g.Set(2)
+	g.Add(3)
+	g.SetMax(4) // below current 5: no effect
+	g.SetMax(9)
+
+	snap := r.Snapshot(100)
+	if m := snap.Find("ctas_placed", "smx", "0"); m == nil || m.Value != 2 {
+		t.Errorf("smx0 = %+v", m)
+	}
+	if m := snap.Find("ctas_placed", "smx", "1"); m == nil || m.Value != 5 {
+		t.Errorf("smx1 = %+v", m)
+	}
+	if m := snap.Find("depth"); m == nil || m.Value != 9 {
+		t.Errorf("depth = %+v", m)
+	}
+	if snap.Find("missing") != nil {
+		t.Error("Find on unknown name must return nil")
+	}
+}
+
+func TestReRegistrationReplaces(t *testing.T) {
+	r := NewRegistry()
+	old := r.Counter("c", "k", "v")
+	old.Inc()
+	fresh := r.Counter("c", "k", "v")
+	fresh.Add(7)
+	snap := r.Snapshot(0)
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("want 1 series after re-registration, got %d", len(snap.Metrics))
+	}
+	if snap.Metrics[0].Value != 7 {
+		t.Errorf("replaced series value = %v, want 7", snap.Metrics[0].Value)
+	}
+}
+
+func TestCollectorsEvaluatedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("live", func() float64 { return v })
+	if got := r.Snapshot(0).Find("live").Value; got != 1 {
+		t.Errorf("first snapshot = %v", got)
+	}
+	v = 42
+	if got := r.Snapshot(0).Find("live").Value; got != 42 {
+		t.Errorf("second snapshot = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantMean := float64(0+1+2+3+4+5+1024) / 7
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	m := r.Snapshot(0).Find("lat")
+	if m == nil || m.Min != 0 || m.Max != 1024 || m.Count != 7 {
+		t.Fatalf("snapshot histogram = %+v", m)
+	}
+	// Buckets: le=1:{0,1}=2, le=2:{2}=1, le=4:{3,4}=2, le=8:{5}=1, le=1024:{1024}=1.
+	want := map[float64]uint64{1: 2, 2: 1, 4: 2, 8: 1, 1024: 1}
+	got := map[float64]uint64{}
+	for _, b := range m.Buckets {
+		got[b.Le] = b.Count
+	}
+	for le, n := range want {
+		if got[le] != n {
+			t.Errorf("bucket le=%v count = %d, want %d (%v)", le, got[le], n, m.Buckets)
+		}
+	}
+}
+
+func TestSnapshotJSONAndCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "smx", "3").Add(2)
+	r.Histogram("h").Observe(9)
+	snap := r.Snapshot(55)
+
+	var jb strings.Builder
+	if err := snap.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(jb.String()), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Cycle != 55 || len(decoded.Metrics) != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+
+	var cb strings.Builder
+	if err := snap.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	out := cb.String()
+	for _, want := range []string{"name,labels,type", "a,smx=3,counter,2", "h,,histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z")
+	r.Counter("a", "smx", "1")
+	r.Counter("a", "smx", "0")
+	snap := r.Snapshot(0)
+	var keys []string
+	for _, m := range snap.Metrics {
+		k := m.Name
+		for _, l := range m.Labels {
+			k += "/" + l.Value
+		}
+		keys = append(keys, k)
+	}
+	want := []string{"a/0", "a/1", "z"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("order = %v, want %v", keys, want)
+		}
+	}
+}

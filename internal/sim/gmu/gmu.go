@@ -12,8 +12,10 @@ package gmu
 
 import (
 	"fmt"
+	"strconv"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/metrics"
 	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/stats"
 )
@@ -37,6 +39,13 @@ type GMU struct {
 	// QueueLatency accumulates, per kernel, the cycles between pending-
 	// pool arrival and first CTA dispatch (the paper's queuing latency).
 	QueueLatency stats.Mean
+
+	// Observability (nil when metrics are disabled; see Instrument).
+	mEnqueues   []*metrics.Counter // per queue: hwqs then direct
+	mDispatched *metrics.Counter
+	mYields     *metrics.Counter
+	mQueueLat   *metrics.Histogram
+	mQueuedPeak *metrics.Gauge
 }
 
 // New creates a GMU for the given configuration.
@@ -47,18 +56,46 @@ func New(cfg config.GPU) *GMU {
 	}
 }
 
+// Instrument registers the GMU's observability series with reg:
+// per-HWQ enqueue counters (queue=<i>, queue=direct for DTBL groups),
+// CTA dispatch and yield counters, the queue-latency histogram, and
+// snapshot-time gauges over pool depth and HWQ occupancy. No-op when
+// reg is nil.
+func (g *GMU) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	g.mEnqueues = make([]*metrics.Counter, len(g.hwqs)+1)
+	for i := range g.hwqs {
+		g.mEnqueues[i] = reg.Counter("gmu_enqueued_kernels", "queue", strconv.Itoa(i))
+	}
+	g.mEnqueues[len(g.hwqs)] = reg.Counter("gmu_enqueued_kernels", "queue", "direct")
+	g.mDispatched = reg.Counter("gmu_dispatched_ctas")
+	g.mYields = reg.Counter("gmu_kernel_yields")
+	g.mQueueLat = reg.Histogram("gmu_queue_latency_cycles")
+	g.mQueuedPeak = reg.Gauge("gmu_queued_kernels_peak")
+	reg.GaugeFunc("gmu_pending_ctas", func() float64 { return float64(g.pendingCTAs) })
+	reg.GaugeFunc("gmu_queued_kernels", func() float64 { return float64(g.queuedKerns) })
+	reg.GaugeFunc("gmu_occupied_hwqs", func() float64 { return float64(g.ConcurrentKernelSlots()) })
+}
+
 // Enqueue places a kernel into the pending pool (post launch overhead).
 // Aggregated (DTBL) kernels go to the direct queue; others to the HWQ
 // selected by their stream id.
 func (g *GMU) Enqueue(k *kernel.Kernel) {
+	qi := len(g.hwqs) // direct queue index in mEnqueues
 	if k.Aggregated {
 		g.direct = append(g.direct, k)
 	} else {
-		q := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
-		g.hwqs[q] = append(g.hwqs[q], k)
+		qi = int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
+		g.hwqs[qi] = append(g.hwqs[qi], k)
 	}
 	g.pendingCTAs += k.Def.GridCTAs
 	g.queuedKerns++
+	if g.mEnqueues != nil {
+		g.mEnqueues[qi].Inc()
+		g.mQueuedPeak.SetMax(float64(g.queuedKerns))
+	}
 }
 
 // numQueues counts HWQs plus the direct queue.
@@ -106,9 +143,11 @@ func (g *GMU) Dispatch(now uint64, place PlaceFunc) int {
 			if first {
 				k.FirstDispatch = now
 				g.QueueLatency.Add(float64(now - k.ArrivalCycle))
+				g.mQueueLat.Observe(now - k.ArrivalCycle)
 			}
 			g.pendingCTAs--
 			placed++
+			g.mDispatched.Inc()
 			g.rr = (qi + 1) % n
 			progressed = true
 			break
@@ -142,6 +181,7 @@ func (g *GMU) Yield(k *kernel.Kernel) {
 	}
 	g.hwqs[qi] = q[1:]
 	k.Yielded = true
+	g.mYields.Inc()
 }
 
 // KernelCompleted removes a finished kernel from its queue, unblocking

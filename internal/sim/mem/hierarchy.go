@@ -1,7 +1,10 @@
 package mem
 
 import (
+	"strconv"
+
 	"spawnsim/internal/config"
+	"spawnsim/internal/metrics"
 )
 
 // bank models one DRAM bank: an open row and a next-free time that
@@ -59,6 +62,34 @@ func NewHierarchy(cfg config.GPU) *Hierarchy {
 		h.l2[i] = NewCache(cfg.L2PartitionBytes, cfg.L2Ways, cfg.CacheLineBytes)
 	}
 	return h
+}
+
+// Instrument registers the memory system's observability series with
+// reg. Every series is a snapshot-time collector over counters the
+// hierarchy already maintains — per-SMX L1 and per-partition L2
+// hits/misses, DRAM row-buffer behaviour, coalescing totals — so the
+// access path costs nothing extra. No-op when reg is nil.
+func (h *Hierarchy) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, c := range h.l1 {
+		id := strconv.Itoa(i)
+		reg.CounterFunc("mem_l1_hits", func() float64 { return float64(c.Hits) }, "smx", id)
+		reg.CounterFunc("mem_l1_misses", func() float64 { return float64(c.Accesses - c.Hits) }, "smx", id)
+	}
+	for i, c := range h.l2 {
+		id := strconv.Itoa(i)
+		reg.CounterFunc("mem_l2_hits", func() float64 { return float64(c.Hits) }, "partition", id)
+		reg.CounterFunc("mem_l2_misses", func() float64 { return float64(c.Accesses - c.Hits) }, "partition", id)
+	}
+	reg.CounterFunc("mem_dram_accesses", func() float64 { return float64(h.DRAMAccesses) })
+	reg.CounterFunc("mem_dram_row_hits", func() float64 { return float64(h.DRAMRowHits) })
+	reg.CounterFunc("mem_transactions", func() float64 { return float64(h.Transactions) })
+	reg.CounterFunc("mem_warp_accesses", func() float64 { return float64(h.WarpAccesses) })
+	reg.GaugeFunc("mem_l1_hit_rate", h.L1HitRate)
+	reg.GaugeFunc("mem_l2_hit_rate", h.L2HitRate)
+	reg.GaugeFunc("mem_dram_row_hit_rate", h.DRAMRowHitRate)
 }
 
 // partitionOf maps a line to its L2 partition (lines interleave across

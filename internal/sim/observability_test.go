@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"spawnsim/internal/config"
+	spawn "spawnsim/internal/core"
+	"spawnsim/internal/metrics"
+	"spawnsim/internal/runtime"
+	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/trace"
+)
+
+// collect is a test sink that retains every event.
+type collect struct{ events []trace.Event }
+
+func (c *collect) Record(e trace.Event) { c.events = append(c.events, e) }
+func (c *collect) Close() error         { return nil }
+
+// Kernel ids are 1-based (kernelSeq is pre-incremented), so id 0 can
+// mean "no kernel" in trace events. The host kernel must be #1.
+func TestHostKernelTracedWithOneBasedID(t *testing.T) {
+	sink := &collect{}
+	def := &kernel.Def{
+		Name: "host", GridCTAs: 2, CTAThreads: 64, RegsPerThread: 16,
+		NewProgram: aluProgram(10, 2),
+	}
+	run(t, runtime.Flat{}, def, func(o *Options) { o.Sinks = []trace.Sink{sink} })
+
+	if len(sink.events) == 0 {
+		t.Fatal("sink saw no events")
+	}
+	first := sink.events[0]
+	if first.Kind != trace.KernelSubmitted {
+		t.Fatalf("first event = %v, want KernelSubmitted", first.Kind)
+	}
+	if first.Kernel != 1 {
+		t.Errorf("host kernel id = %d, want 1 (ids are 1-based)", first.Kernel)
+	}
+	for _, e := range sink.events {
+		if e.Kernel == 0 {
+			t.Fatalf("event %+v has kernel id 0", e)
+		}
+	}
+}
+
+// A registry attached via Options.Metrics must collect per-SMX placement
+// counts that sum to the total CTAs executed, GMU dispatch counts, and
+// per-launch-site policy decision counters.
+func TestMetricsInstrumentation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := config.K20m()
+	res := run(t, spawn.New(cfg), dpParent(256, 4, 40, 4),
+		func(o *Options) { o.Metrics = reg })
+
+	snap := reg.Snapshot(res.Cycles)
+
+	var placed, released float64
+	perSMX := 0
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "smx_ctas_placed":
+			placed += m.Value
+			perSMX++
+		case "smx_ctas_released":
+			released += m.Value
+		}
+	}
+	if perSMX != cfg.NumSMX {
+		t.Errorf("smx_ctas_placed series = %d, want one per SMX (%d)", perSMX, cfg.NumSMX)
+	}
+	if placed == 0 || placed != released {
+		t.Errorf("placed = %v, released = %v; want equal and non-zero", placed, released)
+	}
+	if m := snap.Find("gmu_dispatched_ctas"); m == nil || m.Value != placed {
+		t.Errorf("gmu_dispatched_ctas = %+v, want %v", m, placed)
+	}
+	if m := snap.Find("sim_child_kernels"); m == nil || m.Value != float64(res.ChildKernels) {
+		t.Errorf("sim_child_kernels = %+v, want %d", m, res.ChildKernels)
+	}
+	if m := snap.Find("launch_accepted", "site", "parent", "policy", "spawn"); m == nil || m.Value != float64(res.ChildKernels) {
+		t.Errorf("launch_accepted{site=parent} = %+v, want %d", m, res.ChildKernels)
+	}
+	if m := snap.Find("mem_l2_hits", "partition", "0"); m == nil {
+		t.Error("missing per-partition L2 hit counter")
+	}
+	if m := snap.Find("gmu_queue_latency_cycles"); m == nil || m.Count == 0 {
+		t.Errorf("gmu_queue_latency_cycles = %+v, want observations", m)
+	}
+}
+
+// With no registry and no sinks the simulator must behave identically —
+// the disabled instruments are nil and every trace emit is skipped.
+func TestMetricsDisabledMatchesEnabled(t *testing.T) {
+	def := dpParent(128, 4, 40, 4)
+	cfg := config.K20m()
+	plain := run(t, spawn.New(cfg), def)
+	reg := metrics.NewRegistry()
+	sink := &collect{}
+	instrumented := run(t, spawn.New(cfg), def, func(o *Options) {
+		o.Metrics = reg
+		o.Sinks = []trace.Sink{sink}
+	})
+	if plain.Cycles != instrumented.Cycles {
+		t.Errorf("cycles differ: plain %d vs instrumented %d", plain.Cycles, instrumented.Cycles)
+	}
+	if plain.ChildKernels != instrumented.ChildKernels {
+		t.Errorf("child kernels differ: %d vs %d", plain.ChildKernels, instrumented.ChildKernels)
+	}
+}

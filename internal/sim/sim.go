@@ -8,8 +8,10 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"time"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/metrics"
 	"spawnsim/internal/sim/gmu"
 	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/sim/mem"
@@ -36,8 +38,34 @@ type Options struct {
 	// to the kernel launch overhead).
 	DTBLLaunchCycles uint64
 	// Trace, when non-nil, records kernel/CTA lifecycle and launch
-	// decision events into the ring (see internal/trace).
+	// decision events into the bounded ring (see internal/trace).
 	Trace *trace.Ring
+	// Sinks receive the full event stream alongside the ring (streaming
+	// JSONL, the Perfetto exporter, custom sinks). Nil entries are
+	// ignored. The simulator does not close sinks; their owner does.
+	Sinks []trace.Sink
+	// Metrics, when non-nil, instruments the run: the engine, GMU, SMXs
+	// and memory hierarchy register their series with it (see
+	// internal/metrics). When nil, metrics cost nothing.
+	Metrics *metrics.Registry
+	// Heartbeat, when non-nil, is invoked roughly every HeartbeatEvery
+	// simulated cycles with run progress (long-run liveness reporting).
+	Heartbeat func(Progress)
+	// HeartbeatEvery is the heartbeat period in simulated cycles
+	// (0 = default 5,000,000 when Heartbeat is set).
+	HeartbeatEvery uint64
+}
+
+// Progress is one heartbeat sample of a running simulation.
+type Progress struct {
+	Cycle         uint64
+	LiveKernels   int
+	QueuedKernels int
+	PendingCTAs   int
+	// Elapsed is wall time since Run started; CyclesPerSec is the
+	// simulation rate since the previous heartbeat.
+	Elapsed      time.Duration
+	CyclesPerSec float64
 }
 
 // flightItem is a kernel in launch transit toward the pending pool.
@@ -83,7 +111,21 @@ type GPU struct {
 
 	maxCycles uint64
 	dtblLat   uint64
-	tr        *trace.Ring
+	sinks     []trace.Sink
+
+	// Observability (nil/empty when metrics are disabled).
+	reg       *metrics.Registry
+	mStalls   *metrics.Counter
+	mTransit  *metrics.Histogram
+	decBySite map[string]*siteCounters
+
+	// Heartbeat state.
+	hb          func(Progress)
+	hbEvery     uint64
+	hbNext      uint64
+	hbStart     time.Time
+	hbLastWall  time.Time
+	hbLastCycle uint64
 
 	instr kernel.Instr
 
@@ -125,7 +167,14 @@ func New(opts Options) *GPU {
 		gmu:       gmu.New(opts.Config),
 		maxCycles: opts.MaxCycles,
 		dtblLat:   opts.DTBLLaunchCycles,
-		tr:        opts.Trace,
+	}
+	if opts.Trace != nil {
+		g.sinks = append(g.sinks, opts.Trace)
+	}
+	for _, s := range opts.Sinks {
+		if s != nil {
+			g.sinks = append(g.sinks, s)
+		}
 	}
 	if g.maxCycles == 0 {
 		g.maxCycles = DefaultMaxCycles
@@ -142,7 +191,88 @@ func New(opts Options) *GPU {
 		g.childSeries = stats.NewLevelSeries(opts.SampleInterval)
 		g.utilSeries = stats.NewLevelSeries(opts.SampleInterval)
 	}
+	if opts.Metrics != nil {
+		g.instrument(opts.Metrics)
+	}
+	if opts.Heartbeat != nil {
+		g.hb = opts.Heartbeat
+		g.hbEvery = opts.HeartbeatEvery
+		if g.hbEvery == 0 {
+			g.hbEvery = 5_000_000
+		}
+	}
 	return g
+}
+
+// instrument registers the engine-level observability series and fans
+// the registry out to every component.
+func (g *GPU) instrument(reg *metrics.Registry) {
+	g.reg = reg
+	g.decBySite = map[string]*siteCounters{}
+	g.mStalls = reg.Counter("sim_cta_placement_stalls")
+	g.mTransit = reg.Histogram("sim_launch_transit_cycles")
+	reg.GaugeFunc("sim_cycle", func() float64 { return float64(g.clock) })
+	reg.GaugeFunc("sim_live_kernels", func() float64 { return float64(g.liveKernels) })
+	reg.GaugeFunc("sim_active_warps", func() float64 { return float64(g.activeWarps.Level()) })
+	reg.CounterFunc("sim_child_kernels", func() float64 { return float64(g.childKernels) })
+	reg.CounterFunc("sim_dtbl_groups", func() float64 { return float64(g.dtblGroups) })
+	reg.CounterFunc("sim_launch_offers", func() float64 { return float64(g.launchOffers) })
+	g.gmu.Instrument(reg)
+	g.mem.Instrument(reg)
+	for _, m := range g.smxs {
+		m.Instrument(reg)
+	}
+}
+
+// siteCounters tallies policy outcomes attributed to one launch site
+// (the parent kernel definition the decision was made in). A nil
+// *siteCounters (metrics disabled) no-ops.
+type siteCounters struct {
+	accepted *metrics.Counter
+	declined *metrics.Counter
+	deferred *metrics.Counter
+}
+
+func (sc *siteCounters) incAccepted() {
+	if sc != nil {
+		sc.accepted.Inc()
+	}
+}
+
+func (sc *siteCounters) incDeclined() {
+	if sc != nil {
+		sc.declined.Inc()
+	}
+}
+
+func (sc *siteCounters) incDeferred() {
+	if sc != nil {
+		sc.deferred.Inc()
+	}
+}
+
+// siteFor returns (creating on first use) the decision counters of one
+// launch site. Only called when metrics are enabled.
+func (g *GPU) siteFor(site string) *siteCounters {
+	sc := g.decBySite[site]
+	if sc == nil {
+		pol := g.pol.Name()
+		sc = &siteCounters{
+			accepted: g.reg.Counter("launch_accepted", "site", site, "policy", pol),
+			declined: g.reg.Counter("launch_declined", "site", site, "policy", pol),
+			deferred: g.reg.Counter("launch_deferred", "site", site, "policy", pol),
+		}
+		g.decBySite[site] = sc
+	}
+	return sc
+}
+
+// emit fans a trace event out to the attached sinks (none when tracing
+// is disabled).
+func (g *GPU) emit(e trace.Event) {
+	for _, s := range g.sinks {
+		s.Record(e)
+	}
 }
 
 // Clock returns the current simulation cycle.
@@ -181,7 +311,7 @@ func (g *GPU) LaunchHost(def *kernel.Def) *kernel.Kernel {
 		LaunchCycle: g.clock,
 	}
 	g.liveKernels++
-	g.tr.Record(trace.Event{Cycle: g.clock, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
+	g.emit(trace.Event{Cycle: g.clock, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
 	heap.Push(&g.flight, flightItem{at: g.clock, k: k})
 	return k
 }
@@ -226,7 +356,7 @@ func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandida
 	g.liveKernels++
 	g.offloadedWork += int64(cand.Workload)
 	g.launchCycles = append(g.launchCycles, now)
-	g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1, Extra: cand.Workload})
+	g.emit(trace.Event{Cycle: now, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1, Extra: cand.Workload})
 	heap.Push(&g.flight, flightItem{at: arrival, k: k, warp: w})
 }
 
@@ -282,8 +412,13 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 			EstimatedOverhead:   uint64(g.cfg.LaunchLatency(w.PendingLaunches + 1)),
 		}
 		dec := g.pol.Decide(&site)
+		var sc *siteCounters
+		if g.reg != nil {
+			sc = g.siteFor(w.CTA.Kernel.Def.Name)
+		}
 		if dec.Action == kernel.Defer {
-			g.tr.Record(trace.Event{Cycle: now, Kind: trace.LaunchDeferred, CTA: -1, Extra: cand.Workload})
+			sc.incDeferred()
+			g.emit(trace.Event{Cycle: now, Kind: trace.LaunchDeferred, CTA: -1, Extra: cand.Workload})
 			// The runtime holds this lane's API call; the warp blocks
 			// and the candidate is re-presented on resume.
 			wait := uint64(dec.APICycles)
@@ -301,13 +436,16 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 		busy += dec.APICycles
 		switch dec.Action {
 		case kernel.Serialize:
-			g.tr.Record(trace.Event{Cycle: now, Kind: trace.LaunchDeclined, CTA: -1, Extra: cand.Workload})
+			sc.incDeclined()
+			g.emit(trace.Event{Cycle: now, Kind: trace.LaunchDeclined, CTA: -1, Extra: cand.Workload})
 			w.Exec.Accepted[w.LaunchCursor] = false
 		case kernel.LaunchKernel:
-			g.tr.Record(trace.Event{Cycle: now, Kind: trace.LaunchAccepted, CTA: -1, Extra: cand.Workload})
+			sc.incAccepted()
+			g.emit(trace.Event{Cycle: now, Kind: trace.LaunchAccepted, CTA: -1, Extra: cand.Workload})
 			w.Exec.Accepted[w.LaunchCursor] = true
 			g.launchChild(now, w, cand, false)
 		case kernel.LaunchCTAs:
+			sc.incAccepted()
 			w.Exec.Accepted[w.LaunchCursor] = true
 			g.launchChild(now, w, cand, true)
 		default:
@@ -366,14 +504,14 @@ func (g *GPU) ctaExecDone(now uint64, c *kernel.CTA) {
 		return
 	}
 	c.State = kernel.CTAWaitingSync
-	g.tr.Record(trace.Event{Cycle: now, Kind: trace.CTASuspended, Kernel: c.Kernel.ID, CTA: c.Index})
+	g.emit(trace.Event{Cycle: now, Kind: trace.CTASuspended, Kernel: c.Kernel.ID, CTA: c.Index})
 	k := c.Kernel
 	k.SuspendedCTAs++
 	if k.FullySuspended() {
 		// Every incomplete CTA of this kernel is blocked on children:
 		// release the HWQ slot so descendants can dispatch.
 		g.gmu.Yield(k)
-		g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+		g.emit(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
 	}
 }
 
@@ -383,7 +521,7 @@ func (g *GPU) completeCTA(now uint64, c *kernel.CTA) {
 		c.Kernel.SuspendedCTAs--
 	}
 	c.State = kernel.CTADone
-	g.tr.Record(trace.Event{Cycle: now, Kind: trace.CTACompleted, Kernel: c.Kernel.ID, CTA: c.Index})
+	g.emit(trace.Event{Cycle: now, Kind: trace.CTACompleted, Kernel: c.Kernel.ID, CTA: c.Index})
 	for _, w := range c.Warps {
 		w.State = kernel.WarpDone
 	}
@@ -397,7 +535,7 @@ func (g *GPU) completeCTA(now uint64, c *kernel.CTA) {
 		// The last non-suspended CTA just completed: the kernel now only
 		// waits on children and must release its HWQ slot.
 		g.gmu.Yield(k)
-		g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+		g.emit(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
 	}
 }
 
@@ -405,7 +543,7 @@ func (g *GPU) completeCTA(now uint64, c *kernel.CTA) {
 // the last outstanding child (completion can cascade through nesting).
 func (g *GPU) completeKernel(now uint64, k *kernel.Kernel) {
 	k.DoneCycle = now
-	g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
+	g.emit(trace.Event{Cycle: now, Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
 	g.gmu.KernelCompleted(k)
 	g.liveKernels--
 	if p := k.Parent; p != nil {
@@ -460,7 +598,7 @@ func (g *GPU) place(k *kernel.Kernel) bool {
 		c := kernel.NewCTA(k, k.NextCTA, g.cfg.WarpSize)
 		k.NextCTA++
 		m.Place(g.clock, c, &g.ageSeq)
-		g.tr.Record(trace.Event{Cycle: g.clock, Kind: trace.CTAPlaced, Kernel: k.ID, CTA: c.Index, Extra: m.ID})
+		g.emit(trace.Event{Cycle: g.clock, Kind: trace.CTAPlaced, Kernel: k.ID, CTA: c.Index, Extra: m.ID})
 		g.activeWarps.Add(g.clock, int64(len(c.Warps)))
 		g.noteCTALevel(g.clock, k.IsChild(), 1)
 		g.sampleUtilization(g.clock)
@@ -469,6 +607,7 @@ func (g *GPU) place(k *kernel.Kernel) bool {
 		}
 		return true
 	}
+	g.mStalls.Inc()
 	return false
 }
 
@@ -516,11 +655,31 @@ func (g *GPU) processArrivals(now uint64) bool {
 			g.childQueued++
 			g.pol.OnChildQueued(now, it.k.Def.GridCTAs)
 		}
-		g.tr.Record(trace.Event{Cycle: now, Kind: trace.KernelArrived, Kernel: it.k.ID, CTA: -1})
+		g.mTransit.Observe(now - it.k.LaunchCycle)
+		g.emit(trace.Event{Cycle: now, Kind: trace.KernelArrived, Kernel: it.k.ID, CTA: -1})
 		g.gmu.Enqueue(it.k)
 		any = true
 	}
 	return any
+}
+
+// heartbeat reports progress to the Options.Heartbeat callback.
+func (g *GPU) heartbeat(now uint64) {
+	wall := time.Now()
+	rate := 0.0
+	if dt := wall.Sub(g.hbLastWall).Seconds(); dt > 0 {
+		rate = float64(now-g.hbLastCycle) / dt
+	}
+	g.hb(Progress{
+		Cycle:         now,
+		LiveKernels:   g.liveKernels,
+		QueuedKernels: g.gmu.QueuedKernels(),
+		PendingCTAs:   g.gmu.PendingCTAs(),
+		Elapsed:       wall.Sub(g.hbStart),
+		CyclesPerSec:  rate,
+	})
+	g.hbLastWall = wall
+	g.hbLastCycle = now
 }
 
 // Run simulates until every submitted kernel (and its descendants)
@@ -529,11 +688,20 @@ func (g *GPU) Run() (*Result, error) {
 	if g.liveKernels == 0 {
 		return nil, fmt.Errorf("sim: Run called with no kernels submitted")
 	}
+	if g.hb != nil {
+		g.hbStart = time.Now()
+		g.hbLastWall = g.hbStart
+		g.hbNext = g.hbEvery
+	}
 	for g.liveKernels > 0 {
 		now := g.clock
 		if now > g.maxCycles {
 			return nil, fmt.Errorf("sim: exceeded max cycles (%d) with %d kernels outstanding",
 				g.maxCycles, g.liveKernels)
+		}
+		if g.hb != nil && now >= g.hbNext {
+			g.heartbeat(now)
+			g.hbNext = now + g.hbEvery
 		}
 		activity := g.processArrivals(now)
 		if g.gmu.HasDispatchable() && g.gmu.Dispatch(now, g.place) > 0 {

@@ -6,8 +6,10 @@ package smx
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/metrics"
 	"spawnsim/internal/sim/kernel"
 )
 
@@ -88,6 +90,10 @@ type SMX struct {
 	scheds []scheduler
 
 	resident []*kernel.CTA
+
+	// Observability (nil when metrics are disabled; see Instrument).
+	mPlaced   *metrics.Counter
+	mReleased *metrics.Counter
 }
 
 // New creates an SMX with full resources.
@@ -101,6 +107,22 @@ func New(id int, cfg *config.GPU) *SMX {
 		freeCTAs:    cfg.MaxCTAsPerSM,
 		scheds:      make([]scheduler, cfg.SchedulersPerSM),
 	}
+}
+
+// Instrument registers this SMX's observability series with reg:
+// cumulative CTA placement/release counters plus snapshot-time gauges
+// for utilization and residency, all labelled smx=<id>. No-op when reg
+// is nil.
+func (m *SMX) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	id := strconv.Itoa(m.ID)
+	m.mPlaced = reg.Counter("smx_ctas_placed", "smx", id)
+	m.mReleased = reg.Counter("smx_ctas_released", "smx", id)
+	reg.GaugeFunc("smx_utilization", m.Utilization, "smx", id)
+	reg.GaugeFunc("smx_resident_ctas", func() float64 { return float64(len(m.resident)) }, "smx", id)
+	reg.GaugeFunc("smx_free_threads", func() float64 { return float64(m.freeThreads) }, "smx", id)
 }
 
 // Fits reports whether CTA c can be placed now.
@@ -132,6 +154,7 @@ func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
 	c.State = kernel.CTARunning
 	c.StartCycle = now
 	m.resident = append(m.resident, c)
+	m.mPlaced.Inc()
 	for i, w := range c.Warps {
 		*ageSeq++
 		w.Age = *ageSeq
@@ -162,6 +185,7 @@ func (m *SMX) Release(c *kernel.CTA) {
 		}
 	}
 	c.SMX = -1
+	m.mReleased.Inc()
 }
 
 // Schedulers returns the scheduler count.

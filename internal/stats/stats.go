@@ -121,20 +121,18 @@ func (t *TimeWeighted) Add(cycle uint64, delta int64) { t.Set(cycle, t.level+del
 // Level returns the current level.
 func (t *TimeWeighted) Level() int64 { return t.level }
 
-// Average returns the time-weighted average level from the first Set call
-// up to endCycle.
+// Average returns the time-weighted average level from cycle 0 up to
+// endCycle. When endCycle precedes the last recorded change, the
+// integral accumulated so far (which extends to lastCycle) is still
+// divided by endCycle — callers are expected to pass an endCycle at or
+// after the final Set.
 func (t *TimeWeighted) Average(endCycle uint64) float64 {
-	if !t.started || endCycle <= t.lastCycle {
-		if endCycle == 0 {
-			return 0
-		}
+	if !t.started || endCycle == 0 {
+		return 0
 	}
 	integral := t.integral
 	if endCycle > t.lastCycle {
 		integral += float64(t.level) * float64(endCycle-t.lastCycle)
-	}
-	if endCycle == 0 {
-		return 0
 	}
 	return integral / float64(endCycle)
 }

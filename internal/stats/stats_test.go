@@ -262,3 +262,104 @@ func TestLevelSeriesZeroInterval(t *testing.T) {
 		t.Errorf("interval %d len %d", s.Interval, s.Len())
 	}
 }
+
+// Regression: Average with endCycle before the last recorded change must
+// divide the accumulated integral by endCycle, not blow up or return the
+// partial-window value (the old guard nested a dead endCycle==0 check
+// inside this branch).
+func TestTimeWeightedAverageBeforeLastCycle(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 2)
+	tw.Set(10, 5) // integral now 2*10 = 20, lastCycle = 10
+	if got := tw.Average(5); got != 4 {
+		t.Errorf("Average(5) = %v, want 20/5 = 4", got)
+	}
+	// At exactly lastCycle nothing extrapolates: 20/10.
+	if got := tw.Average(10); got != 2 {
+		t.Errorf("Average(10) = %v, want 2", got)
+	}
+}
+
+func TestTimeWeightedAverageZeroAndUnstarted(t *testing.T) {
+	var tw TimeWeighted
+	if got := tw.Average(100); got != 0 {
+		t.Errorf("unstarted Average(100) = %v, want 0", got)
+	}
+	tw.Set(0, 7)
+	if got := tw.Average(0); got != 0 {
+		t.Errorf("Average(0) = %v, want 0", got)
+	}
+}
+
+// ObserveSpan fast-forward: after a gap of fully empty windows the value
+// resets to 0 and the window start realigns to the observation's window.
+func TestWindowedMeanFastForwardRealigns(t *testing.T) {
+	w := NewWindowedMean(8)
+	w.ObserveSpan(0, 8, 16) // one full window of 16
+	w.Observe(8, 16)
+	if got := w.Value(); got != 16 {
+		t.Fatalf("first window average = %d, want 16", got)
+	}
+	// Jump far ahead: windows [16,24), [24,32), ... were empty.
+	w.Observe(100, 3)
+	if got := w.Value(); got != 0 {
+		t.Errorf("average after empty-window gap = %d, want 0", got)
+	}
+	if want := uint64(100) &^ 7; w.start != want {
+		t.Errorf("window start after fast-forward = %d, want %d", w.start, want)
+	}
+	if !w.Warm() {
+		t.Error("fast-forward should not reset warm")
+	}
+	// The window containing cycle 100 accumulates normally afterwards.
+	w.ObserveSpan(101, 3, 8)
+	w.Observe(104, 0) // closes window [96,104): 3 + 3*8 = 27 -> 27>>3 = 3
+	if got := w.Value(); got != 3 {
+		t.Errorf("post-gap window average = %d, want 3", got)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if got := Sparkline([]float64{}); got != "" {
+		t.Errorf("Sparkline(empty) = %q, want empty", got)
+	}
+	// A single value has lo == hi: must render the lowest tick, not panic.
+	if got := Sparkline([]float64{42}); got != "▁" {
+		t.Errorf("Sparkline(single) = %q, want %q", got, "▁")
+	}
+	// Constant series renders all-lowest ticks.
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("Sparkline(constant) = %q, want %q", got, "▁▁▁")
+	}
+	// Extremes map to the first and last tick.
+	got := []rune(Sparkline([]float64{0, 7}))
+	if got[0] != '▁' || got[1] != '█' {
+		t.Errorf("Sparkline(0,7) = %q, want low then high tick", string(got))
+	}
+}
+
+func TestCDFEdgeCases(t *testing.T) {
+	// No events: flat zero line, one bucket per interval plus the origin.
+	cdf := CDF(nil, 10, 30)
+	if len(cdf) != 4 {
+		t.Fatalf("len = %d, want 4", len(cdf))
+	}
+	for i, v := range cdf {
+		if v != 0 {
+			t.Errorf("bucket %d = %v, want 0", i, v)
+		}
+	}
+	// interval 0 clamps to 1.
+	cdf = CDF([]uint64{0, 1}, 0, 2)
+	if len(cdf) != 3 || cdf[2] != 2 {
+		t.Errorf("interval-0 CDF = %v, want len 3 ending at 2", cdf)
+	}
+	// Events after endCycle are not counted; unsorted input is sorted.
+	cdf = CDF([]uint64{50, 5, 500}, 10, 60)
+	if cdf[len(cdf)-1] != 2 {
+		t.Errorf("CDF end = %v, want 2 (event at 500 is past endCycle)", cdf[len(cdf)-1])
+	}
+	if cdf[0] != 0 || cdf[1] != 1 {
+		t.Errorf("CDF head = %v %v, want 0 then 1", cdf[0], cdf[1])
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Perfetto is a Sink exporting the run as Chrome trace-event JSON, the
+// format ui.perfetto.dev and chrome://tracing open directly. One
+// simulated cycle maps to one microsecond of trace time.
+//
+// Track layout:
+//   - process 0 ("GMU / kernels"): kernel lifecycles as async duration
+//     events (submitted -> completed, with "arrived" and "yielded"
+//     instants), plus a "launch decisions" thread carrying
+//     accept/decline/defer instants;
+//   - one process per SMX ("SMX <i>"): CTA residencies as async duration
+//     events (placed -> suspended-or-completed), one row per concurrently
+//     resident CTA.
+//
+// Async events are used because kernels and CTAs overlap arbitrarily —
+// they do not nest the way synchronous duration events require.
+type Perfetto struct {
+	w     *bufio.Writer
+	err   error
+	first bool // no event emitted yet (comma management)
+
+	last    uint64         // highest cycle seen
+	openCTA map[[2]int]int // (kernel, cta) -> event id of the open span
+	openK   map[int]bool   // kernel id -> async span open
+	nextID  int
+}
+
+// kernelsPID is the trace process id of the kernel/GMU track group; SMX
+// i renders as process i+1.
+const kernelsPID = 0
+
+// NewPerfetto creates the exporter over w, declaring numSMX SMX tracks
+// up front. The caller retains ownership of w; Close finalizes the JSON
+// document but does not close w.
+func NewPerfetto(w io.Writer, numSMX int) *Perfetto {
+	p := &Perfetto{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		first:   true,
+		openCTA: map[[2]int]int{},
+		openK:   map[int]bool{},
+		nextID:  1,
+	}
+	p.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	p.meta("process_name", kernelsPID, 0, `"name":"GMU / kernels"`)
+	p.meta("process_sort_index", kernelsPID, 0, `"sort_index":0`)
+	p.meta("thread_name", kernelsPID, 1, `"name":"launch decisions"`)
+	for i := 0; i < numSMX; i++ {
+		p.meta("process_name", i+1, 0, fmt.Sprintf(`"name":"SMX %d"`, i))
+		p.meta("process_sort_index", i+1, 0, fmt.Sprintf(`"sort_index":%d`, i+1))
+	}
+	return p
+}
+
+// raw writes a fragment, latching the first error.
+func (p *Perfetto) raw(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.WriteString(s)
+}
+
+// event writes one trace event object from a pre-rendered body.
+func (p *Perfetto) event(body string) {
+	if p.err != nil {
+		return
+	}
+	if !p.first {
+		p.raw(",\n")
+	}
+	p.first = false
+	p.raw(body)
+}
+
+// meta emits a metadata ("M") event.
+func (p *Perfetto) meta(name string, pid, tid int, args string) {
+	p.event(fmt.Sprintf(`{"ph":"M","name":%q,"pid":%d,"tid":%d,"args":{%s}}`, name, pid, tid, args))
+}
+
+// async emits an async begin/end/instant ("b"/"e"/"n") event.
+func (p *Perfetto) async(ph string, cat string, id int, name string, pid int, ts uint64, args string) {
+	if args != "" {
+		args = fmt.Sprintf(`,"args":{%s}`, args)
+	}
+	p.event(fmt.Sprintf(`{"ph":%q,"cat":%q,"id":%d,"name":%q,"pid":%d,"tid":0,"ts":%d%s}`,
+		ph, cat, id, name, pid, ts, args))
+}
+
+// Record implements Sink.
+func (p *Perfetto) Record(e Event) {
+	if e.Cycle > p.last {
+		p.last = e.Cycle
+	}
+	switch e.Kind {
+	case KernelSubmitted:
+		if p.openK[e.Kernel] {
+			return // defensive: one span per kernel id
+		}
+		p.openK[e.Kernel] = true
+		p.async("b", "kernel", e.Kernel, fmt.Sprintf("kernel %d", e.Kernel),
+			kernelsPID, e.Cycle, fmt.Sprintf(`"workload":%d`, e.Extra))
+	case KernelArrived, KernelYielded:
+		if !p.openK[e.Kernel] {
+			return
+		}
+		name := "arrived"
+		if e.Kind == KernelYielded {
+			name = "yielded"
+		}
+		p.async("n", "kernel", e.Kernel, name, kernelsPID, e.Cycle, "")
+	case KernelCompleted:
+		if !p.openK[e.Kernel] {
+			return
+		}
+		delete(p.openK, e.Kernel)
+		p.async("e", "kernel", e.Kernel, fmt.Sprintf("kernel %d", e.Kernel),
+			kernelsPID, e.Cycle, "")
+	case CTAPlaced:
+		key := [2]int{e.Kernel, e.CTA}
+		if _, open := p.openCTA[key]; open {
+			return
+		}
+		id := p.nextID
+		p.nextID++
+		// The close event must target the same pid, so remember the span
+		// id and the owning SMX together.
+		p.openCTA[key] = id<<16 | (e.Extra & 0xffff)
+		p.async("b", "cta", id, fmt.Sprintf("K%d/CTA%d", e.Kernel, e.CTA),
+			e.Extra+1, e.Cycle, "")
+	case CTASuspended, CTACompleted:
+		key := [2]int{e.Kernel, e.CTA}
+		enc, open := p.openCTA[key]
+		if !open {
+			return // CTACompleted after CTASuspended: span already closed
+		}
+		delete(p.openCTA, key)
+		p.async("e", "cta", enc>>16, fmt.Sprintf("K%d/CTA%d", e.Kernel, e.CTA),
+			(enc&0xffff)+1, e.Cycle, "")
+	case LaunchAccepted, LaunchDeclined, LaunchDeferred:
+		p.event(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"pid":%d,"tid":1,"ts":%d,"args":{"workload":%d}}`,
+			e.Kind.String(), kernelsPID, e.Cycle, e.Extra))
+	}
+}
+
+// Close terminates still-open spans at the last seen cycle (so aborted
+// runs render), finalizes the JSON document, and flushes.
+func (p *Perfetto) Close() error {
+	for key, enc := range p.openCTA {
+		p.async("e", "cta", enc>>16, fmt.Sprintf("K%d/CTA%d", key[0], key[1]),
+			(enc&0xffff)+1, p.last, "")
+	}
+	p.openCTA = map[[2]int]int{}
+	for k := range p.openK {
+		p.async("e", "kernel", k, fmt.Sprintf("kernel %d", k), kernelsPID, p.last, "")
+	}
+	p.openK = map[int]bool{}
+	p.raw("\n]}\n")
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// Multi fans one event stream out to several sinks.
+type Multi []Sink
+
+// Record implements Sink.
+func (m Multi) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
+// Close closes every sink, returning the first error.
+func (m Multi) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,7 +1,10 @@
 // Package trace records structured simulator events — kernel and CTA
 // lifecycle transitions, launch decisions — for debugging and for
-// post-hoc analysis of a run. Tracing is opt-in (sim.Options.Trace) and
-// bounded: the ring keeps the most recent events.
+// post-hoc analysis of a run. Tracing is opt-in and fans out through the
+// Sink interface: the bounded Ring keeps the most recent events in
+// memory (sim.Options.Trace), while streaming sinks (JSONL, the Perfetto
+// exporter) observe the full event stream as it is produced
+// (sim.Options.Sinks).
 package trace
 
 import (
@@ -9,6 +12,15 @@ import (
 	"io"
 	"strings"
 )
+
+// Sink receives every recorded event in cycle order. Implementations
+// need not be safe for concurrent use (the simulator is
+// single-threaded). Close flushes buffered output and finalizes the
+// stream; the simulator does not call it — the owner of the sink does.
+type Sink interface {
+	Record(Event)
+	Close() error
+}
 
 // Kind enumerates traced event types.
 type Kind uint8
@@ -63,9 +75,13 @@ func (k Kind) String() string {
 
 // Event is one traced occurrence.
 type Event struct {
-	Cycle  uint64
-	Kind   Kind
-	Kernel int // kernel id (0 = n/a)
+	Cycle uint64
+	Kind  Kind
+	// Kernel is the kernel id, or 0 for events not tied to a kernel
+	// (launch decisions fire before the child kernel exists). Kernel ids
+	// are 1-based — sim.GPU allocates them from a pre-incremented
+	// sequence — so 0 never collides with a real kernel.
+	Kernel int
 	CTA    int // CTA index within the kernel (-1 = n/a)
 	Extra  int // kind-specific payload (workload, SMX id, ...)
 }
@@ -85,9 +101,10 @@ func (e Event) String() string {
 	return b.String()
 }
 
-// Ring is a bounded event recorder. The zero value is disabled; create
-// with New. Not safe for concurrent use (the simulator is
-// single-threaded).
+// Ring is a bounded event recorder implementing Sink. The zero value is
+// disabled; create with New. Unlike the streaming sinks it retains only
+// the most recent events (use JSONL for the full stream). Not safe for
+// concurrent use (the simulator is single-threaded).
 type Ring struct {
 	buf     []Event
 	next    int
@@ -117,6 +134,9 @@ func (r *Ring) Record(e Event) {
 	r.next = (r.next + 1) % cap(r.buf)
 	r.wrapped = true
 }
+
+// Close implements Sink; a ring holds no buffered output.
+func (r *Ring) Close() error { return nil }
 
 // Total reports how many events were recorded overall (including
 // overwritten ones).
