@@ -10,14 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/faults"
 	"spawnsim/internal/harness"
 	"spawnsim/internal/workloads"
 )
@@ -29,6 +33,12 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		csv        = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		metricsDir = flag.String("metrics", "", "dump a per-run metrics snapshot (metrics-<bench>-<scheme>.json) into this directory")
+
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per simulation run (0 = none)")
+		check     = flag.Bool("check", false, "audit simulator conservation-law invariants during every run")
+		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan applied to every run: 'mild', 'none', or clauses like transit=0.1:2000,hwq=0.02")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "seed selecting the concrete fault schedule for -chaos-plan")
+		retries   = flag.Int("retries", 0, "retry transient chaos-run failures up to N times under derived seeds")
 	)
 	flag.Parse()
 
@@ -40,14 +50,45 @@ func main() {
 		harness.RunObserver = metricsDumper(*metricsDir)
 	}
 
+	var plan *faults.Plan
+	if *chaosPlan != "" {
+		p, err := faults.Parse(*chaosPlan, *chaosSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		plan = &p
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	// The figure drivers build their Specs internally, so the robustness
+	// settings reach them through the harness-wide defaults hook.
+	harness.SpecDefaults = func(s *harness.Spec) {
+		s.Context = ctx
+		s.Deadline = *timeout
+		s.CheckInvariants = *check
+		s.Retries = *retries
+		if plan != nil && s.FaultPlan == nil {
+			s.FaultPlan = plan
+		}
+	}
+
 	ids := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig12",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablation", "hwq"}
 	if *all {
+		// One failing experiment no longer aborts the batch: the rest
+		// still regenerate, and the failures are summarized at the end.
+		var failed []string
 		for _, id := range ids {
 			if err := run(id, *bench, *csv); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-				os.Exit(1)
+				failed = append(failed, id)
 			}
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed: %s\n",
+				len(failed), len(ids), strings.Join(failed, ", "))
+			os.Exit(1)
 		}
 		return
 	}

@@ -13,14 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/faults"
 	"spawnsim/internal/harness"
 	"spawnsim/internal/metrics"
 	"spawnsim/internal/sim"
@@ -44,6 +48,13 @@ func main() {
 		heartbeatN  = flag.Uint64("heartbeat", 0, "print a progress heartbeat to stderr every N simulated cycles (0 = off)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline; the run aborts cleanly with partial results (0 = none)")
+		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget (0 = simulator default)")
+		check     = flag.Bool("check", false, "audit simulator conservation-law invariants during the run")
+		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan: 'mild', 'none', or clauses like transit=0.1:2000,hwq=0.02,smx=0.01,dram=0.05:200,epoch=8192")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "seed selecting the concrete fault schedule for -chaos-plan")
+		retries   = flag.Int("retries", 0, "retry transient chaos-run failures up to N times under derived seeds")
 
 		list = flag.Bool("list", false, "list benchmarks and exit")
 	)
@@ -90,6 +101,22 @@ func main() {
 	if *metricsOut != "" {
 		spec.Metrics = metrics.NewRegistry()
 	}
+	spec.Deadline = *timeout
+	spec.MaxCycles = *maxCycles
+	spec.CheckInvariants = *check
+	spec.Retries = *retries
+	if *chaosPlan != "" {
+		p, err := faults.Parse(*chaosPlan, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
+		spec.FaultPlan = &p
+	}
+	// Ctrl-C / SIGTERM abort the run cooperatively: the simulator stops
+	// at a clean point with a partial result and the sinks still close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	spec.Context = ctx
 
 	var sinks []trace.Sink
 	var files []*os.File
@@ -139,12 +166,23 @@ func main() {
 		}
 	}
 	if err != nil {
+		if out != nil && out.Result != nil {
+			fmt.Fprintf(os.Stderr, "spawnsim: aborted at cycle %d; partial results below\n", out.Result.Cycles)
+			fmt.Println(out.Summary())
+		}
 		fatal(err)
 	}
 
 	fmt.Println(out.Summary())
 	if out.Threshold >= 0 {
 		fmt.Printf("static THRESHOLD used: %d\n", out.Threshold)
+	}
+	if spec.FaultPlan != nil {
+		fmt.Printf("chaos: plan %q seed %d injected %d faults\n",
+			spec.FaultPlan.String(), spec.FaultPlan.Seed, out.FaultsInjected)
+	}
+	for _, f := range out.Failures {
+		fmt.Fprintf(os.Stderr, "spawnsim: sweep candidate %s failed: %v\n", f.Scheme, f.Err)
 	}
 	if *metricsOut != "" {
 		if out.Metrics == nil {

@@ -129,10 +129,31 @@ func (g GPU) Validate() error {
 			g.MaxThreadsPerSM, g.WarpSize)
 	case g.MaxCTAsPerSM <= 0:
 		return fmt.Errorf("config: MaxCTAsPerSM must be positive, got %d", g.MaxCTAsPerSM)
+	case g.MaxThreadsPerSM <= 0:
+		return fmt.Errorf("config: MaxThreadsPerSM must be positive, got %d", g.MaxThreadsPerSM)
+	case g.SchedulersPerSM <= 0:
+		return fmt.Errorf("config: SchedulersPerSM must be positive, got %d", g.SchedulersPerSM)
+	case g.RegistersPerSM <= 0:
+		return fmt.Errorf("config: RegistersPerSM must be positive, got %d", g.RegistersPerSM)
+	case g.SharedMemPerSM <= 0:
+		return fmt.Errorf("config: SharedMemPerSM must be positive, got %d", g.SharedMemPerSM)
 	case g.NumHWQs <= 0:
 		return fmt.Errorf("config: NumHWQs must be positive, got %d", g.NumHWQs)
 	case g.CacheLineBytes <= 0 || g.CacheLineBytes&(g.CacheLineBytes-1) != 0:
 		return fmt.Errorf("config: CacheLineBytes must be a positive power of two, got %d", g.CacheLineBytes)
+	case g.L1Ways <= 0 || g.L2Ways <= 0:
+		return fmt.Errorf("config: cache associativity must be positive, got L1 %d-way, L2 %d-way",
+			g.L1Ways, g.L2Ways)
+	case g.MemControllers <= 0 || g.PartitionsPerMC <= 0 || g.BanksPerMC <= 0:
+		return fmt.Errorf("config: DRAM topology must be positive, got %d MCs x %d partitions, %d banks/MC",
+			g.MemControllers, g.PartitionsPerMC, g.BanksPerMC)
+	case g.RowBytes <= 0:
+		return fmt.Errorf("config: RowBytes must be positive, got %d", g.RowBytes)
+	case g.LaunchOverheadA < 0 || g.LaunchOverheadB < 0:
+		return fmt.Errorf("config: launch overheads must be non-negative, got A=%d b=%d",
+			g.LaunchOverheadA, g.LaunchOverheadB)
+	case g.MaxPendingLaunches < 0:
+		return fmt.Errorf("config: MaxPendingLaunches must be non-negative, got %d", g.MaxPendingLaunches)
 	case g.L1Bytes%(g.CacheLineBytes*g.L1Ways) != 0:
 		return fmt.Errorf("config: L1 size %dB not divisible into %d-way sets of %dB lines",
 			g.L1Bytes, g.L1Ways, g.CacheLineBytes)

@@ -4,13 +4,17 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"spawnsim/internal/config"
 	spawn "spawnsim/internal/core"
 	"spawnsim/internal/dtbl"
+	"spawnsim/internal/faults"
 	"spawnsim/internal/metrics"
 	"spawnsim/internal/runtime"
 	"spawnsim/internal/sim"
@@ -25,6 +29,13 @@ import (
 // so the observer always sees a metrics snapshot. cmd/experiments uses
 // this to dump per-run metrics alongside the figure CSVs.
 var RunObserver func(*Outcome)
+
+// SpecDefaults, when non-nil, is applied to every spec immediately
+// before simulation — including the sweep candidates OfflineSearch
+// builds internally — so process-wide settings (wall-clock deadlines,
+// chaos plans, cycle budgets from command-line flags) reach runs whose
+// Spec the caller never constructs directly.
+var SpecDefaults func(*Spec)
 
 // Scheme names accepted by Run.
 const (
@@ -62,6 +73,24 @@ type Spec struct {
 	HeartbeatEvery uint64
 	// Config overrides the GPU configuration (zero value = K20m).
 	Config *config.GPU
+	// Context, when non-nil, cancels the run cooperatively: the
+	// simulator aborts with a partial result once it observes the
+	// cancellation.
+	Context context.Context
+	// Deadline, when non-zero, bounds the run's wall-clock time.
+	Deadline time.Duration
+	// MaxCycles overrides the simulator's cycle budget (0 = default).
+	MaxCycles uint64
+	// CheckInvariants enables the simulator's conservation-law auditor.
+	CheckInvariants bool
+	// FaultPlan, when non-nil and non-zero, runs the simulation under
+	// deterministic chaos injection (see internal/faults).
+	FaultPlan *faults.Plan
+	// Retries is how many additional attempts a transient failure —
+	// an abort or recovered panic under an active fault plan — gets,
+	// each under a seed derived from the plan's (attempt 0 keeps the
+	// plan's own seed, so unretried runs stay exactly reproducible).
+	Retries int
 }
 
 // Outcome bundles a run's result with its context.
@@ -76,6 +105,19 @@ type Outcome struct {
 	// Metrics is the end-of-run registry snapshot when metrics were
 	// enabled (Spec.Metrics or RunObserver), nil otherwise.
 	Metrics *metrics.Snapshot
+	// FaultsInjected counts the chaos injections of the run (0 when no
+	// fault plan was active).
+	FaultsInjected uint64
+	// Failures lists runs a sweep skipped after they failed
+	// (Offline-Search candidates); empty for single runs.
+	Failures []RunFailure
+}
+
+// RunFailure records one failed run inside a sweep.
+type RunFailure struct {
+	// Scheme is the candidate that failed (e.g. "threshold:64").
+	Scheme string
+	Err    error
 }
 
 func (s Spec) config() config.GPU {
@@ -139,16 +181,22 @@ func Run(spec Spec) (*Outcome, error) {
 		return nil, err
 	}
 	out, err := RunWithPolicy(spec, cfg, pol)
-	if err != nil {
-		return nil, err
+	if out != nil {
+		out.Threshold = thr
 	}
-	out.Threshold = thr
-	return out, nil
+	return out, err
 }
 
 // RunWithPolicy executes the spec's benchmark under a caller-supplied
-// policy and configuration (custom policies, ablation studies).
+// policy and configuration (custom policies, ablation studies). Engine
+// panics are recovered into errors; transient failures under an active
+// fault plan are retried up to Spec.Retries times with derived seeds.
+// An aborted run returns its partial *Outcome alongside the error, so
+// callers can still flush sinks and inspect progress.
 func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, error) {
+	if SpecDefaults != nil {
+		SpecDefaults(&spec)
+	}
 	app, err := spec.buildApp()
 	if err != nil {
 		return nil, err
@@ -156,6 +204,64 @@ func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, erro
 	def, err := workloads.ParentDef(app)
 	if err != nil {
 		return nil, err
+	}
+	var lastOut *Outcome
+	var lastErr error
+	for attempt := 0; attempt <= spec.Retries; attempt++ {
+		out, err := runOnce(spec, cfg, pol, app, def, attempt)
+		if err == nil {
+			return out, nil
+		}
+		lastOut, lastErr = out, err
+		if !retryable(spec, err) {
+			break
+		}
+	}
+	return lastOut, lastErr
+}
+
+// retryable reports whether a failed run may succeed under a derived
+// fault seed: only fault-injected runs are transient, and never
+// caller-initiated aborts (cancellation, deadlines).
+func retryable(spec Spec, err error) bool {
+	if spec.FaultPlan == nil || spec.FaultPlan.Zero() {
+		return false
+	}
+	var abort *sim.AbortError
+	if errors.As(err, &abort) {
+		return abort.Kind != sim.AbortCanceled && abort.Kind != sim.AbortDeadline
+	}
+	// Recovered panics under chaos are treated as transient.
+	return true
+}
+
+// retrySeed derives the attempt-specific fault seed. Attempt 0 keeps
+// the plan's own seed so unretried runs reproduce exactly.
+func retrySeed(seed uint64, attempt int) uint64 {
+	return seed + uint64(attempt)*0x9e3779b97f4a7c15
+}
+
+// runOnce performs one simulation attempt, recovering engine panics
+// (invariant violations and any other programming error surfacing
+// mid-run) into returned errors so a sweep can skip the run.
+func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, def *kernel.Def, attempt int) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("harness: %s/%s: recovered panic: %w", spec.Benchmark, pol.Name(), e)
+			} else {
+				err = fmt.Errorf("harness: %s/%s: recovered panic: %v", spec.Benchmark, pol.Name(), r)
+			}
+		}
+	}()
+	var inj *faults.Injector
+	if spec.FaultPlan != nil && !spec.FaultPlan.Zero() {
+		p := *spec.FaultPlan
+		p.Seed = retrySeed(p.Seed, attempt)
+		if inj, err = faults.New(p); err != nil {
+			return nil, err
+		}
 	}
 	var ring *trace.Ring
 	if spec.TraceEvents > 0 {
@@ -165,26 +271,47 @@ func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, erro
 	if reg == nil && RunObserver != nil {
 		reg = metrics.NewRegistry()
 	}
-	g := sim.New(sim.Options{
-		Config:         cfg,
-		Policy:         pol,
-		StreamMode:     spec.StreamMode,
-		SampleInterval: spec.SampleInterval,
-		Trace:          ring,
-		Sinks:          spec.TraceSinks,
-		Metrics:        reg,
-		Heartbeat:      spec.Heartbeat,
-		HeartbeatEvery: spec.HeartbeatEvery,
+	g, err := sim.NewChecked(sim.Options{
+		Config:          cfg,
+		Policy:          pol,
+		StreamMode:      spec.StreamMode,
+		SampleInterval:  spec.SampleInterval,
+		MaxCycles:       spec.MaxCycles,
+		Trace:           ring,
+		Sinks:           spec.TraceSinks,
+		Metrics:         reg,
+		Heartbeat:       spec.Heartbeat,
+		HeartbeatEvery:  spec.HeartbeatEvery,
+		Faults:          inj,
+		CheckInvariants: spec.CheckInvariants,
+		Context:         spec.Context,
+		Deadline:        spec.Deadline,
 	})
-	g.LaunchHost(def)
-	res, err := g.Run()
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s/%s: %w", spec.Benchmark, pol.Name(), err)
+		return nil, err
 	}
-	out := &Outcome{Spec: spec, Threshold: -1, Result: res, TotalWork: app.TotalWork(), Trace: ring}
+	g.LaunchHost(def)
+	res, runErr := g.Run()
+	if runErr != nil {
+		err = fmt.Errorf("harness: %s/%s: %w", spec.Benchmark, pol.Name(), runErr)
+		if res == nil {
+			return nil, err
+		}
+	}
+	out = &Outcome{
+		Spec:           spec,
+		Threshold:      -1,
+		Result:         res,
+		TotalWork:      app.TotalWork(),
+		Trace:          ring,
+		FaultsInjected: inj.TotalInjected(),
+	}
 	if reg != nil {
 		snap := reg.Snapshot(res.Cycles)
 		out.Metrics = &snap
+	}
+	if runErr != nil {
+		return out, err
 	}
 	if RunObserver != nil {
 		RunObserver(out)
@@ -214,12 +341,16 @@ func SweepThresholds(app *workloads.App) []int {
 
 // OfflineSearch exhaustively sweeps the Figure 5 thresholds and returns
 // the best-performing static configuration (the paper's Offline-Search).
+// A failing candidate does not abort the sweep: it is skipped and
+// recorded in the winning Outcome's Failures list. The search errors
+// only when every candidate fails.
 func OfflineSearch(spec Spec) (*Outcome, error) {
 	app, err := spec.buildApp()
 	if err != nil {
 		return nil, err
 	}
 	var best *Outcome
+	var failures []RunFailure
 	for _, t := range SweepThresholds(app) {
 		s := spec
 		s.Scheme = fmt.Sprintf("threshold:%d", t)
@@ -229,13 +360,18 @@ func OfflineSearch(spec Spec) (*Outcome, error) {
 		s.Metrics, s.TraceSinks = nil, nil
 		out, err := Run(s)
 		if err != nil {
-			return nil, err
+			failures = append(failures, RunFailure{Scheme: s.Scheme, Err: err})
+			continue
 		}
 		if best == nil || out.Result.Cycles < best.Result.Cycles {
 			best = out
 		}
 	}
 	if best == nil {
+		if len(failures) > 0 {
+			return nil, fmt.Errorf("harness: offline search for %s: all %d candidates failed (first: %w)",
+				spec.Benchmark, len(failures), failures[0].Err)
+		}
 		return nil, fmt.Errorf("harness: offline search found no candidates for %s", spec.Benchmark)
 	}
 	if spec.Metrics != nil || len(spec.TraceSinks) > 0 {
@@ -243,10 +379,14 @@ func OfflineSearch(spec Spec) (*Outcome, error) {
 		s.Scheme = fmt.Sprintf("threshold:%d", best.Threshold)
 		out, err := Run(s)
 		if err != nil {
-			return nil, err
+			// The instrumented re-run of the winner failed (possible under
+			// chaos); keep the uninstrumented result and record it.
+			failures = append(failures, RunFailure{Scheme: s.Scheme, Err: err})
+		} else {
+			best = out
 		}
-		best = out
 	}
 	best.Spec.Scheme = SchemeOffline
+	best.Failures = failures
 	return best, nil
 }

@@ -11,7 +11,6 @@
 package gmu
 
 import (
-	"fmt"
 	"strconv"
 
 	"spawnsim/internal/config"
@@ -35,6 +34,11 @@ type GMU struct {
 
 	pendingCTAs int // undispatched CTAs across all queued kernels
 	queuedKerns int
+
+	// stalled, when non-nil, is consulted at the top of Dispatch: a true
+	// return models transient pending-pool back-pressure and suspends CTA
+	// dispatch for the cycle (the fault injector's HWQ-stall hook).
+	stalled func(now uint64) bool
 
 	// QueueLatency accumulates, per kernel, the cycles between pending-
 	// pool arrival and first CTA dispatch (the paper's queuing latency).
@@ -126,6 +130,9 @@ func (g *GMU) headOf(qi int) *kernel.Kernel {
 // responsible for SMX selection, resource checks, and CTA bookkeeping
 // (including advancing k.NextCTA). It returns the number of CTAs placed.
 func (g *GMU) Dispatch(now uint64, place PlaceFunc) int {
+	if g.stalled != nil && g.stalled(now) {
+		return 0
+	}
 	placed := 0
 	for placed < g.cfg.CTADispatchRate {
 		n := g.numQueues()
@@ -177,7 +184,7 @@ func (g *GMU) Yield(k *kernel.Kernel) {
 	qi := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
 	q := g.hwqs[qi]
 	if len(q) == 0 || q[0] != k {
-		panic(fmt.Sprintf("gmu: yielding %v which is not head of HWQ %d", k, qi))
+		panic(kernel.Invariantf(0, "gmu", "yielding %v which is not head of HWQ %d", k, qi))
 	}
 	g.hwqs[qi] = q[1:]
 	k.Yielded = true
@@ -198,14 +205,65 @@ func (g *GMU) KernelCompleted(k *kernel.Kernel) {
 				return
 			}
 		}
-		panic(fmt.Sprintf("gmu: completed aggregated %v not in direct queue", k))
+		panic(kernel.Invariantf(0, "gmu", "completed aggregated %v not in direct queue", k))
 	}
 	qi := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
 	q := g.hwqs[qi]
 	if len(q) == 0 || q[0] != k {
-		panic(fmt.Sprintf("gmu: completed %v is not head of HWQ %d", k, qi))
+		panic(kernel.Invariantf(0, "gmu", "completed %v is not head of HWQ %d", k, qi))
 	}
 	g.hwqs[qi] = q[1:]
+}
+
+// SetBackpressure installs the transient-stall predicate consulted by
+// Dispatch (nil disables it). The fault injector's HWQ-stall windows
+// enter the GMU through here.
+func (g *GMU) SetBackpressure(stalled func(now uint64) bool) { g.stalled = stalled }
+
+// CheckInvariants audits the GMU's accounting at cycle `now`: the
+// pending-CTA counter must equal the undispatched CTAs summed over the
+// queue members, only HWQ heads may have dispatched CTAs, and the
+// resident-kernel counter must cover every kernel still in a queue.
+// It returns a *kernel.InvariantError for the first violation, or nil.
+func (g *GMU) CheckInvariants(now uint64) error {
+	members, remaining := 0, 0
+	for qi, q := range g.hwqs {
+		for pos, k := range q {
+			members++
+			left := k.Def.GridCTAs - k.NextCTA
+			if left < 0 {
+				return kernel.Invariantf(now, "gmu", "HWQ %d: %v dispatched %d of %d CTAs",
+					qi, k, k.NextCTA, k.Def.GridCTAs)
+			}
+			remaining += left
+			if pos > 0 && k.NextCTA != 0 {
+				return kernel.Invariantf(now, "gmu", "HWQ %d: non-head %v has dispatched CTAs", qi, k)
+			}
+			if k.Yielded {
+				return kernel.Invariantf(now, "gmu", "HWQ %d: yielded %v still enqueued", qi, k)
+			}
+		}
+	}
+	for _, k := range g.direct {
+		members++
+		left := k.Def.GridCTAs - k.NextCTA
+		if left < 0 {
+			return kernel.Invariantf(now, "gmu", "direct queue: %v dispatched %d of %d CTAs",
+				k, k.NextCTA, k.Def.GridCTAs)
+		}
+		remaining += left
+	}
+	if remaining != g.pendingCTAs {
+		return kernel.Invariantf(now, "gmu", "pending CTAs %d != %d undispatched across queues",
+			g.pendingCTAs, remaining)
+	}
+	// Yielded kernels stay counted in queuedKerns until completion but
+	// live off-queue, so queue membership is a lower bound.
+	if g.queuedKerns < members {
+		return kernel.Invariantf(now, "gmu", "resident kernels %d < %d queue members",
+			g.queuedKerns, members)
+	}
+	return nil
 }
 
 // PendingCTAs reports undispatched CTAs across all queues.

@@ -1,0 +1,32 @@
+package sim
+
+import "spawnsim/internal/sim/kernel"
+
+// checkInvariants audits the machine's conservation laws at cycle `now`:
+// engine-level kernel accounting, then every SMX's resource pools and
+// the GMU's queue bookkeeping. It returns the first violation as a
+// *kernel.InvariantError, or nil. Driven by Options.CheckInvariants
+// every Options.InvariantEvery cycles and once more at completion.
+func (g *GPU) checkInvariants(now uint64) error {
+	// Every live kernel is either in launch flight or resident in the
+	// GMU (dispatching, queued, or yielded off-queue until completion).
+	if got := len(g.flight) + g.gmu.QueuedKernels(); got != g.liveKernels {
+		return kernel.Invariantf(now, "sim", "%d live kernels != %d in flight + %d in GMU",
+			g.liveKernels, len(g.flight), g.gmu.QueuedKernels())
+	}
+	for _, it := range g.flight {
+		if it.k.ArrivalCycle != 0 {
+			return kernel.Invariantf(now, "sim", "%v still in flight but marked arrived at cycle %d",
+				it.k, it.k.ArrivalCycle)
+		}
+	}
+	if g.gmu.PendingCTAs() < 0 {
+		return kernel.Invariantf(now, "sim", "negative pending CTA count %d", g.gmu.PendingCTAs())
+	}
+	for _, m := range g.smxs {
+		if err := m.CheckInvariants(now); err != nil {
+			return err
+		}
+	}
+	return g.gmu.CheckInvariants(now)
+}

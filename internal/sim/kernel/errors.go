@@ -1,0 +1,35 @@
+package kernel
+
+import "fmt"
+
+// InvariantError reports a broken simulator conservation law: a
+// resource pool out of bounds, inconsistent queue heads, kernel/warp/CTA
+// accounting that does not sum, a launch-buffer cursor out of range.
+//
+// The type lives in package kernel so every engine layer (smx, gmu, the
+// sim core) can construct one; package sim re-exports it as
+// sim.InvariantError. Invariant violations are programming errors, so
+// the engine panics with a *InvariantError value — the harness recovers
+// the panic into an ordinary error, and the sim.Options.CheckInvariants
+// auditor returns them directly without panicking.
+type InvariantError struct {
+	// Cycle is the simulation cycle the violation was detected at
+	// (0 when the site has no clock in scope).
+	Cycle uint64
+	// Component names the violating unit ("smx 3", "gmu", "kernel", ...).
+	Component string
+	// Message describes the broken invariant.
+	Message string
+}
+
+func (e *InvariantError) Error() string {
+	if e.Cycle > 0 {
+		return fmt.Sprintf("invariant violated at cycle %d [%s]: %s", e.Cycle, e.Component, e.Message)
+	}
+	return fmt.Sprintf("invariant violated [%s]: %s", e.Component, e.Message)
+}
+
+// Invariantf builds an *InvariantError with a formatted message.
+func Invariantf(cycle uint64, component, format string, args ...interface{}) *InvariantError {
+	return &InvariantError{Cycle: cycle, Component: component, Message: fmt.Sprintf(format, args...)}
+}

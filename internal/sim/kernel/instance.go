@@ -198,7 +198,7 @@ func NewCTA(k *Kernel, index, warpSize int) *CTA {
 func (c *CTA) WarpRetired() bool {
 	c.runningWarps--
 	if c.runningWarps < 0 {
-		panic(fmt.Sprintf("kernel: CTA %d of %v retired more warps than it has", c.Index, c.Kernel))
+		panic(Invariantf(0, "kernel", "CTA %d of %v retired more warps than it has", c.Index, c.Kernel))
 	}
 	return c.runningWarps == 0
 }

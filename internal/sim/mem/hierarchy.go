@@ -31,6 +31,11 @@ type Hierarchy struct {
 	linesPerRow uint64
 	lineShift   uint
 
+	// dramPenalty, when non-nil, returns extra cycles for a DRAM access
+	// serviced at the given cycle (the fault injector's latency-spike
+	// hook).
+	dramPenalty func(now uint64) uint64
+
 	// Statistics.
 	DRAMAccesses uint64
 	DRAMRowHits  uint64
@@ -159,9 +164,17 @@ func (h *Hierarchy) lineTransaction(now uint64, smx int, line uint64) uint64 {
 		b.openRow = row
 		b.hasRow = true
 	}
+	if h.dramPenalty != nil {
+		dramLat += h.dramPenalty(atBank)
+	}
 	b.nextFree = atBank + uint64(cfg.DRAMCyclesPerReq)
 	return atBank + dramLat + uint64(cfg.InterconnectLat)
 }
+
+// SetDRAMPenalty installs the per-access extra-latency hook consulted on
+// the DRAM path (nil disables it). The fault injector's DRAM spike
+// windows enter the hierarchy through here.
+func (h *Hierarchy) SetDRAMPenalty(penalty func(now uint64) uint64) { h.dramPenalty = penalty }
 
 // Access times one warp memory instruction: the per-lane byte addresses
 // are coalesced into unique cache-line transactions; the warp's

@@ -7,10 +7,13 @@ package sim
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/faults"
 	"spawnsim/internal/metrics"
 	"spawnsim/internal/sim/gmu"
 	"spawnsim/internal/sim/kernel"
@@ -54,6 +57,28 @@ type Options struct {
 	// HeartbeatEvery is the heartbeat period in simulated cycles
 	// (0 = default 5,000,000 when Heartbeat is set).
 	HeartbeatEvery uint64
+	// Faults, when non-nil, injects the deterministic timing
+	// perturbations its plan describes: launch transit delays, HWQ
+	// back-pressure windows, SMX offline intervals, DRAM latency spikes
+	// (see internal/faults). Injected faults are emitted into the trace
+	// stream as FaultInjected events. Nil costs nothing.
+	Faults *faults.Injector
+	// CheckInvariants audits the machine's conservation laws every
+	// InvariantEvery cycles and at completion; a violation aborts the
+	// run with an AbortError wrapping the *InvariantError.
+	CheckInvariants bool
+	// InvariantEvery is the audit period in simulated cycles
+	// (0 = default 65,536 when CheckInvariants is set).
+	InvariantEvery uint64
+	// Context, when non-nil, cancels the run: Run returns an AbortError
+	// (kind canceled or deadline) with a partial Result once it observes
+	// the cancellation. Checked every few thousand loop iterations, so
+	// aborts land within milliseconds of wall time.
+	Context context.Context
+	// Deadline, when non-zero, bounds the run's wall-clock time even
+	// without a context (a lighter-weight alternative to
+	// context.WithTimeout for sweep harnesses).
+	Deadline time.Duration
 }
 
 // Progress is one heartbeat sample of a running simulation.
@@ -113,6 +138,15 @@ type GPU struct {
 	dtblLat   uint64
 	sinks     []trace.Sink
 
+	inj *faults.Injector
+
+	checkInv bool
+	invEvery uint64
+	invNext  uint64
+
+	ctx      context.Context
+	deadline time.Duration
+
 	// Observability (nil/empty when metrics are disabled).
 	reg       *metrics.Registry
 	mStalls   *metrics.Counter
@@ -151,13 +185,29 @@ type GPU struct {
 }
 
 // New builds a GPU from the options. It panics on an invalid
-// configuration (a programming error, not an input error).
+// configuration (a programming error, not an input error); use
+// NewChecked when options come from user input.
 func New(opts Options) *GPU {
-	if err := opts.Config.Validate(); err != nil {
+	g, err := NewChecked(opts)
+	if err != nil {
 		panic(err)
 	}
+	return g
+}
+
+// NewChecked builds a GPU from the options, returning an error for an
+// invalid configuration or fault plan instead of panicking.
+func NewChecked(opts Options) (*GPU, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Policy == nil {
-		panic("sim: Options.Policy is nil")
+		return nil, errors.New("sim: Options.Policy is nil")
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Plan().Validate(); err != nil {
+			return nil, err
+		}
 	}
 	g := &GPU{
 		cfg:       opts.Config,
@@ -167,6 +217,10 @@ func New(opts Options) *GPU {
 		gmu:       gmu.New(opts.Config),
 		maxCycles: opts.MaxCycles,
 		dtblLat:   opts.DTBLLaunchCycles,
+		checkInv:  opts.CheckInvariants,
+		invEvery:  opts.InvariantEvery,
+		ctx:       opts.Context,
+		deadline:  opts.Deadline,
 	}
 	if opts.Trace != nil {
 		g.sinks = append(g.sinks, opts.Trace)
@@ -182,8 +236,23 @@ func New(opts Options) *GPU {
 	if g.dtblLat == 0 {
 		g.dtblLat = 150
 	}
+	if g.checkInv && g.invEvery == 0 {
+		g.invEvery = 65_536
+	}
 	for i := 0; i < opts.Config.NumSMX; i++ {
 		g.smxs = append(g.smxs, smx.New(i, &g.cfg))
+	}
+	if opts.Faults != nil {
+		g.inj = opts.Faults
+		g.gmu.SetBackpressure(g.inj.DispatchStalled)
+		g.mem.SetDRAMPenalty(g.inj.DRAMPenalty)
+		prev := g.inj.OnEvent
+		g.inj.OnEvent = func(e faults.Event) {
+			if prev != nil {
+				prev(e)
+			}
+			g.emit(trace.Event{Cycle: e.Cycle, Kind: trace.FaultInjected, CTA: e.Unit, Extra: int(e.Kind)})
+		}
 	}
 	if opts.SampleInterval > 0 {
 		g.sampleInterval = opts.SampleInterval
@@ -201,7 +270,7 @@ func New(opts Options) *GPU {
 			g.hbEvery = 5_000_000
 		}
 	}
-	return g
+	return g, nil
 }
 
 // instrument registers the engine-level observability series and fans
@@ -352,6 +421,7 @@ func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandida
 		w.PendingLaunches++
 		g.childKernels++
 	}
+	arrival += g.inj.LaunchDelay(now, k.ID)
 	w.CTA.OutstandingChildren++
 	g.liveKernels++
 	g.offloadedWork += int64(cand.Workload)
@@ -449,7 +519,7 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 			w.Exec.Accepted[w.LaunchCursor] = true
 			g.launchChild(now, w, cand, true)
 		default:
-			panic(fmt.Sprintf("sim: unknown action %v from policy %s", dec.Action, g.pol.Name()))
+			panic(kernel.Invariantf(now, "sim", "unknown action %v from policy %s", dec.Action, g.pol.Name()))
 		}
 		w.LaunchCursor++
 	}
@@ -591,6 +661,9 @@ func (g *GPU) place(k *kernel.Kernel) bool {
 	shmem := d.SharedMemBytes
 	for i := 0; i < len(g.smxs); i++ {
 		m := g.smxs[(g.rrSMX+i)%len(g.smxs)]
+		if g.inj.SMXOffline(g.clock, m.ID) {
+			continue
+		}
 		if !m.FitsRes(threads, regs, shmem) {
 			continue
 		}
@@ -637,7 +710,7 @@ func (g *GPU) execute(now uint64, w *kernel.Warp) {
 	case kernel.InstrSync:
 		g.execSync(now, w)
 	default:
-		panic(fmt.Sprintf("sim: unknown instruction kind %v", in.Kind))
+		panic(kernel.Invariantf(now, "sim", "unknown instruction kind %v", in.Kind))
 	}
 }
 
@@ -682,8 +755,27 @@ func (g *GPU) heartbeat(now uint64) {
 	g.hbLastCycle = now
 }
 
+// abort snapshots a partial Result and pairs it with an AbortError, so
+// callers can flush sinks and inspect progress up to the abort cycle.
+func (g *GPU) abort(kind AbortKind, now uint64, cause error, detail string) (*Result, error) {
+	return g.result(), &AbortError{
+		Kind:        kind,
+		Cycle:       now,
+		LiveKernels: g.liveKernels,
+		Err:         cause,
+		Detail:      detail,
+	}
+}
+
+// ctlEvery is the loop-iteration period for wall-clock control checks
+// (context cancellation, deadline). Iterations are sub-microsecond, so
+// aborts land within a few milliseconds of the trigger.
+const ctlEvery = 1 << 13
+
 // Run simulates until every submitted kernel (and its descendants)
-// completes, returning the collected metrics.
+// completes, returning the collected metrics. Aborted runs — cycle
+// budget, deadlock, cancellation, wall-clock deadline, invariant
+// violation — return a partial *Result alongside an *AbortError.
 func (g *GPU) Run() (*Result, error) {
 	if g.liveKernels == 0 {
 		return nil, fmt.Errorf("sim: Run called with no kernels submitted")
@@ -693,11 +785,39 @@ func (g *GPU) Run() (*Result, error) {
 		g.hbLastWall = g.hbStart
 		g.hbNext = g.hbEvery
 	}
+	var wallDeadline time.Time
+	if g.deadline > 0 {
+		wallDeadline = time.Now().Add(g.deadline)
+	}
+	g.invNext = g.invEvery
+	ctl := 0
 	for g.liveKernels > 0 {
 		now := g.clock
 		if now > g.maxCycles {
-			return nil, fmt.Errorf("sim: exceeded max cycles (%d) with %d kernels outstanding",
-				g.maxCycles, g.liveKernels)
+			return g.abort(AbortMaxCycles, now, nil,
+				fmt.Sprintf("exceeded max cycles (%d)", g.maxCycles))
+		}
+		if ctl++; ctl >= ctlEvery {
+			ctl = 0
+			if g.ctx != nil {
+				if err := g.ctx.Err(); err != nil {
+					kind := AbortCanceled
+					if errors.Is(err, context.DeadlineExceeded) {
+						kind = AbortDeadline
+					}
+					return g.abort(kind, now, err, "")
+				}
+			}
+			if !wallDeadline.IsZero() && time.Now().After(wallDeadline) {
+				return g.abort(AbortDeadline, now, context.DeadlineExceeded,
+					fmt.Sprintf("wall-clock deadline %v elapsed", g.deadline))
+			}
+		}
+		if g.checkInv && now >= g.invNext {
+			g.invNext = now + g.invEvery
+			if err := g.checkInvariants(now); err != nil {
+				return g.abort(AbortInvariant, now, err, "")
+			}
 		}
 		if g.hb != nil && now >= g.hbNext {
 			g.heartbeat(now)
@@ -729,14 +849,28 @@ func (g *GPU) Run() (*Result, error) {
 		if len(g.flight) > 0 && g.flight[0].at < next {
 			next = g.flight[0].at
 		}
+		// An injected stall/offline window can quiesce the machine with
+		// work still queued; the next epoch boundary is then a real event
+		// (the window clears), not a deadlock.
+		if g.inj.Active() && g.gmu.HasDispatchable() {
+			if nc := g.inj.NextChange(now); nc < next {
+				next = nc
+			}
+		}
 		if next == uint64(smx.NoEvent) {
-			return nil, fmt.Errorf("sim: deadlock at cycle %d: %d kernels outstanding, %d queued, %d pending CTAs",
-				now, g.liveKernels, g.gmu.QueuedKernels(), g.gmu.PendingCTAs())
+			return g.abort(AbortDeadlock, now, nil,
+				fmt.Sprintf("%d queued kernels, %d pending CTAs",
+					g.gmu.QueuedKernels(), g.gmu.PendingCTAs()))
 		}
 		if next <= now {
 			g.clock = now + 1
 		} else {
 			g.clock = next
+		}
+	}
+	if g.checkInv {
+		if err := g.checkInvariants(g.clock); err != nil {
+			return g.abort(AbortInvariant, g.clock, err, "")
 		}
 	}
 	return g.result(), nil

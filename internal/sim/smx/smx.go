@@ -144,7 +144,7 @@ func (m *SMX) FitsRes(threads, regs, shmem int) bool {
 // increasing ages for GTO ordering.
 func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
 	if !m.Fits(c) {
-		panic(fmt.Sprintf("smx %d: placing CTA that does not fit", m.ID))
+		panic(kernel.Invariantf(now, m.component(), "placing CTA that does not fit"))
 	}
 	m.freeThreads -= c.Threads
 	m.freeRegs -= c.Regs
@@ -172,7 +172,7 @@ func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
 // relinquishment at a synchronization point).
 func (m *SMX) Release(c *kernel.CTA) {
 	if c.SMX != m.ID {
-		panic(fmt.Sprintf("smx %d: releasing CTA resident on smx %d", m.ID, c.SMX))
+		panic(kernel.Invariantf(0, m.component(), "releasing CTA resident on smx %d", c.SMX))
 	}
 	m.freeThreads += c.Threads
 	m.freeRegs += c.Regs
@@ -225,6 +225,66 @@ func (m *SMX) Utilization() float64 {
 		u = t
 	}
 	return u
+}
+
+// component names this SMX in invariant diagnostics.
+func (m *SMX) component() string { return fmt.Sprintf("smx %d", m.ID) }
+
+// CheckInvariants audits the SMX's conservation laws at cycle `now`:
+// resource pools within bounds, reservations of resident CTAs summing
+// back to the hardware totals, resident CTAs in the running state on
+// this SMX, and warp launch-buffer cursors in range. It returns a
+// *kernel.InvariantError describing the first violation, or nil.
+func (m *SMX) CheckInvariants(now uint64) error {
+	cfg := m.cfg
+	if n := len(m.resident); n > cfg.MaxCTAsPerSM {
+		return kernel.Invariantf(now, m.component(), "%d resident CTAs exceed limit %d", n, cfg.MaxCTAsPerSM)
+	}
+	if m.freeCTAs != cfg.MaxCTAsPerSM-len(m.resident) {
+		return kernel.Invariantf(now, m.component(), "free CTA slots %d != %d - %d resident",
+			m.freeCTAs, cfg.MaxCTAsPerSM, len(m.resident))
+	}
+	var threads, regs, shmem int
+	for _, c := range m.resident {
+		if c.State != kernel.CTARunning {
+			return kernel.Invariantf(now, m.component(), "resident CTA %d of %v in state %d, want running",
+				c.Index, c.Kernel, c.State)
+		}
+		if c.SMX != m.ID {
+			return kernel.Invariantf(now, m.component(), "resident CTA %d of %v claims smx %d",
+				c.Index, c.Kernel, c.SMX)
+		}
+		threads += c.Threads
+		regs += c.Regs
+		shmem += c.SharedMem
+		for _, w := range c.Warps {
+			if w.LaunchCursor < 0 || w.LaunchCursor > len(w.LaunchBuf) {
+				return kernel.Invariantf(now, m.component(), "warp %d of CTA %d: launch cursor %d outside [0,%d]",
+					w.Index, c.Index, w.LaunchCursor, len(w.LaunchBuf))
+			}
+			if w.InLaunch && w.LaunchCursor >= len(w.LaunchBuf) {
+				return kernel.Invariantf(now, m.component(), "warp %d of CTA %d: in-launch with cursor %d past buffer %d",
+					w.Index, c.Index, w.LaunchCursor, len(w.LaunchBuf))
+			}
+			if w.PendingLaunches < 0 {
+				return kernel.Invariantf(now, m.component(), "warp %d of CTA %d: negative pending launches %d",
+					w.Index, c.Index, w.PendingLaunches)
+			}
+		}
+	}
+	if m.freeThreads != cfg.MaxThreadsPerSM-threads {
+		return kernel.Invariantf(now, m.component(), "thread pool: free %d + reserved %d != %d",
+			m.freeThreads, threads, cfg.MaxThreadsPerSM)
+	}
+	if m.freeRegs != cfg.RegistersPerSM-regs {
+		return kernel.Invariantf(now, m.component(), "register pool: free %d + reserved %d != %d",
+			m.freeRegs, regs, cfg.RegistersPerSM)
+	}
+	if m.freeShmem != cfg.SharedMemPerSM-shmem {
+		return kernel.Invariantf(now, m.component(), "shared-mem pool: free %d + reserved %d != %d",
+			m.freeShmem, shmem, cfg.SharedMemPerSM)
+	}
+	return nil
 }
 
 // FreeThreads exposes the free thread slots (tests/diagnostics).

@@ -51,6 +51,7 @@ func NewPerfetto(w io.Writer, numSMX int) *Perfetto {
 	p.meta("process_name", kernelsPID, 0, `"name":"GMU / kernels"`)
 	p.meta("process_sort_index", kernelsPID, 0, `"sort_index":0`)
 	p.meta("thread_name", kernelsPID, 1, `"name":"launch decisions"`)
+	p.meta("thread_name", kernelsPID, 2, `"name":"faults"`)
 	for i := 0; i < numSMX; i++ {
 		p.meta("process_name", i+1, 0, fmt.Sprintf(`"name":"SMX %d"`, i))
 		p.meta("process_sort_index", i+1, 0, fmt.Sprintf(`"sort_index":%d`, i+1))
@@ -145,6 +146,9 @@ func (p *Perfetto) Record(e Event) {
 	case LaunchAccepted, LaunchDeclined, LaunchDeferred:
 		p.event(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"pid":%d,"tid":1,"ts":%d,"args":{"workload":%d}}`,
 			e.Kind.String(), kernelsPID, e.Cycle, e.Extra))
+	case FaultInjected:
+		p.event(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"pid":%d,"tid":2,"ts":%d,"args":{"kind":%d,"unit":%d}}`,
+			e.Kind.String(), kernelsPID, e.Cycle, e.Extra, e.CTA))
 	}
 }
 

@@ -44,6 +44,10 @@ const (
 	LaunchAccepted
 	LaunchDeclined
 	LaunchDeferred
+	// FaultInjected: the chaos injector perturbed the machine. CTA holds
+	// the affected unit (SMX id, -1 = n/a) and Extra the fault kind
+	// (internal/faults.Kind).
+	FaultInjected
 )
 
 func (k Kind) String() string {
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "launch-declined"
 	case LaunchDeferred:
 		return "launch-deferred"
+	case FaultInjected:
+		return "fault-injected"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -211,7 +211,7 @@ func TestFlatInstructionCountsScaleWithWork(t *testing.T) {
 			vals[i] = items
 		}
 		app := tinyApp(vals)
-		return drainAll(t, MustParentDef(app), 32)
+		return drainAll(t, mustParentDef(t, app), 32)
 	}
 	one := mk(1)
 	two := mk(2)
@@ -227,7 +227,7 @@ func TestSectionedParentVisitsEveryElement(t *testing.T) {
 	}
 	app := tinyApp(items)
 	app.Section = 4 // 25 parent threads
-	def := MustParentDef(app)
+	def := mustParentDef(t, app)
 	if def.Threads != 25 {
 		t.Fatalf("parent threads = %d, want 25", def.Threads)
 	}

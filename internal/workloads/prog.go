@@ -457,15 +457,6 @@ func ParentDef(app *App) (*kernel.Def, error) {
 	}, nil
 }
 
-// MustParentDef is ParentDef for statically valid apps.
-func MustParentDef(app *App) *kernel.Def {
-	d, err := ParentDef(app)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // childDef builds the child kernel launched by parent thread p.
 func childDef(app *App, p int) *kernel.Def {
 	items := app.Items(p)

@@ -7,6 +7,17 @@ import (
 	"spawnsim/internal/sim/kernel"
 )
 
+// mustParentDef builds the app's parent kernel def, failing the test on
+// a construction error.
+func mustParentDef(t *testing.T, app *App) *kernel.Def {
+	t.Helper()
+	def, err := ParentDef(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
 // drain pulls a program to completion, returning the instruction kinds.
 func drain(t *testing.T, p kernel.Program, accept func(c *kernel.LaunchCandidate) bool) []kernel.Instr {
 	t.Helper()
@@ -60,7 +71,7 @@ func tinyApp(items []int) *App {
 
 func TestParentProgramFlatSerializesEverything(t *testing.T) {
 	app := tinyApp([]int{5, 0, 3, 7})
-	def := MustParentDef(app)
+	def := mustParentDef(t, app)
 	if def.GridCTAs != 1 {
 		t.Fatalf("grid = %d", def.GridCTAs)
 	}
@@ -84,7 +95,7 @@ func TestParentProgramFlatSerializesEverything(t *testing.T) {
 
 func TestParentProgramLaunchCandidates(t *testing.T) {
 	app := tinyApp([]int{5, 0, 3, 7})
-	prog := MustParentDef(app).NewProgram(0, 0)
+	prog := mustParentDef(t, app).NewProgram(0, 0)
 	var candidates []kernel.LaunchCandidate
 	ins := drain(t, prog, func(c *kernel.LaunchCandidate) bool {
 		candidates = append(candidates, *c)
@@ -137,7 +148,7 @@ func TestChildProgramCoversItems(t *testing.T) {
 func TestInnerIterations(t *testing.T) {
 	app := tinyApp([]int{2})
 	app.Ops.Inner = func(p, j int) int { return 3 }
-	prog := MustParentDef(app).NewProgram(0, 0)
+	prog := mustParentDef(t, app).NewProgram(0, 0)
 	ins := drain(t, prog, nil)
 	k := countKinds(ins)
 	// 2 items x 3 inner iterations = 6 ALU.
@@ -151,7 +162,7 @@ func TestFinalStores(t *testing.T) {
 	app.Ops.Stores = 0
 	app.Ops.FinalStores = 1
 	app.Ops.FinalAddr = func(p, j, slot int) uint64 { return 1 << 22 }
-	ins := drain(t, MustParentDef(app).NewProgram(0, 0), nil)
+	ins := drain(t, mustParentDef(t, app).NewProgram(0, 0), nil)
 	stores := 0
 	for _, in := range ins {
 		if in.Kind == kernel.InstrMem && in.Store {
