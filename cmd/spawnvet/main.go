@@ -1,0 +1,185 @@
+// Command spawnvet is the project's static-analysis driver. It loads
+// the module with the standard library's parser and type checker (no
+// external tooling) and runs the determinism, hotpath, invariants,
+// errwrap, and metrics analyzers over it.
+//
+// Usage:
+//
+//	spawnvet [flags] [./... | dir ...]
+//
+//	-json        emit diagnostics as a JSON array on stdout
+//	-enable s    comma-separated analyzers to run (default: all)
+//	-disable s   comma-separated analyzers to skip
+//	-fix         apply mechanical fixes (%v→%w, sort-before-range),
+//	             then re-analyze and report what remains
+//	-list        print the available analyzers and exit
+//
+// Exit status: 0 when the tree is clean, 1 when diagnostics were
+// reported, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spawnsim/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("spawnvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	fix := fs.Bool("fix", false, "apply mechanical fixes, then re-analyze")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "spawnvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analyze(patterns, analyzers, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "spawnvet:", err)
+		return 2
+	}
+
+	if *fix {
+		fixed, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "spawnvet:", err)
+			return 2
+		}
+		for _, f := range fixed {
+			fmt.Fprintf(stderr, "spawnvet: fixed %s\n", f)
+		}
+		// Re-analyze the rewritten tree with a fresh loader.
+		diags, err = analyze(patterns, analyzers, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "spawnvet:", err)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "spawnvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// analyze loads the packages matched by patterns and runs the
+// analyzers. Patterns are "./..." (the whole module) or directories.
+func analyze(patterns []string, analyzers []*analysis.Analyzer, stderr *os.File) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			p, err := loader.LoadDir(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(stderr, "spawnvet: %s: type error (analysis may be incomplete): %v\n", p.Path, te)
+		}
+	}
+	return analysis.Run(pkgs, analyzers), nil
+}
+
+// selectAnalyzers resolves -enable / -disable against the registry.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	var all []*analysis.Analyzer
+	for _, a := range analysis.Analyzers() {
+		byName[a.Name] = a
+		all = append(all, a)
+	}
+
+	picked := all
+	if enable != "" {
+		picked = nil
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(analysis.AnalyzerNames(), ", "))
+			}
+			picked = append(picked, a)
+		}
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(analysis.AnalyzerNames(), ", "))
+			}
+			skip[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range picked {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return picked, nil
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrapAnalyzer enforces Go 1.13 error discipline module-wide:
+//
+//   - fmt.Errorf must wrap an underlying error with %w, not flatten it
+//     through %v/%s — otherwise errors.Is/As cannot see through the
+//     harness and CLI layers (sim.AbortError, *InvariantError,
+//     context.Canceled all rely on unwrapping);
+//   - sentinel and typed errors are matched with errors.Is/errors.As,
+//     never compared with == / != or by message text.
+//
+// The %v→%w rewrite is mechanical; `spawnvet -fix` applies it.
+func ErrWrapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "wrap cross-layer errors with %w and match them with errors.Is/As",
+		Run:  runErrWrap,
+	}
+}
+
+func runErrWrap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgCall(info, n, "fmt", "Errorf") {
+					checkErrorf(pass, n)
+				}
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf flags %v/%s applied to error-typed Errorf arguments.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := scanVerbs(format)
+	info := pass.Pkg.Info
+	for vi, v := range verbs {
+		argIdx := 1 + vi
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if v.letter != 'v' && v.letter != 's' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		tv, ok := info.Types[arg]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		fix := buildVerbFix(pass, lit, format, v)
+		msg := "fmt.Errorf flattens an error with %" + string(v.letter) +
+			"; wrap it with %w so errors.Is/As see through this layer"
+		if fix != nil {
+			pass.ReportFix(arg.Pos(), fix, "%s", msg)
+		} else {
+			pass.Reportf(arg.Pos(), "%s", msg)
+		}
+	}
+}
+
+// verb is one format directive: the index of its '%' in the unquoted
+// format string and its terminating letter.
+type verb struct {
+	start  int
+	end    int // index just past the letter
+	letter byte
+}
+
+// scanVerbs extracts the argument-consuming format directives in order.
+// Width/precision stars are rare in this codebase and not handled; a
+// format containing them yields no fix (indices would shift).
+func scanVerbs(format string) []verb {
+	var out []verb
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[j])) {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		if format[j] == '%' {
+			i = j + 1
+			continue
+		}
+		if format[j] == '*' {
+			return nil // star width consumes an arg; bail out
+		}
+		out = append(out, verb{start: i, end: j + 1, letter: format[j]})
+		i = j + 1
+	}
+	return out
+}
+
+// buildVerbFix rewrites one verb letter to 'w' inside the original
+// (quoted) literal. Only plain double-quoted literals are rewritten.
+func buildVerbFix(pass *Pass, lit *ast.BasicLit, format string, v verb) *TextEdit {
+	if !strings.HasPrefix(lit.Value, `"`) {
+		return nil // raw string: offsets differ from the unquoted form
+	}
+	// Within a double-quoted literal the unquoted text maps 1:1 onto the
+	// quoted text only when no escape sequences precede the verb; verify
+	// by re-quoting the prefix.
+	prefix := format[:v.end-1]
+	quotedPrefix := strconv.Quote(prefix)
+	quotedPrefix = quotedPrefix[:len(quotedPrefix)-1] // drop closing quote
+	if !strings.HasPrefix(lit.Value, quotedPrefix) {
+		return nil
+	}
+	file := pass.Pkg.Fset.File(lit.Pos())
+	off := file.Offset(lit.Pos()) + len(quotedPrefix)
+	return &TextEdit{
+		File:  file.Name(),
+		Start: off,
+		End:   off + 1,
+		New:   "w",
+	}
+}
+
+// checkErrCompare flags == / != between errors and message-text checks.
+func checkErrCompare(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	xt, yt := info.Types[b.X].Type, info.Types[b.Y].Type
+	if isErrorType(xt) && isErrorType(yt) {
+		pass.Reportf(b.OpPos, "errors compared with %s; use errors.Is (wrapped errors do not compare equal)", b.Op)
+		return
+	}
+	// err.Error() == "some text" (either side).
+	if isErrorMessageCall(info, b.X) || isErrorMessageCall(info, b.Y) {
+		pass.Reportf(b.OpPos, "error matched by message text; use errors.Is/errors.As against a sentinel or typed error")
+	}
+}
+
+// isErrorMessageCall recognizes <error expr>.Error().
+func isErrorMessageCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ApplyFixes applies the mechanical rewrites attached to diags to the
+// files on disk and returns the paths it modified, sorted. Edits are
+// byte-offset TextEdits against the source bytes the diagnostics were
+// produced from; overlapping edits in one file abort that file with an
+// error rather than corrupting it.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	perFile := map[string][]*TextEdit{}
+	for i := range diags {
+		if fix := diags[i].Fix; fix != nil {
+			perFile[fix.File] = append(perFile[fix.File], fix)
+		}
+	}
+	var files []string
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var written []string
+	for _, file := range files {
+		changed, err := applyFileEdits(file, perFile[file])
+		if err != nil {
+			return written, fmt.Errorf("spawnvet: fixing %s: %w", file, err)
+		}
+		if changed {
+			written = append(written, file)
+		}
+	}
+	return written, nil
+}
+
+func applyFileEdits(file string, edits []*TextEdit) (bool, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+
+	// Apply highest-offset first so earlier offsets stay valid.
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+	prevStart := len(src) + 1
+	var imports []string
+	out := src
+	for _, e := range edits {
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return false, fmt.Errorf("edit range [%d,%d) out of bounds", e.Start, e.End)
+		}
+		if e.End > prevStart {
+			return false, fmt.Errorf("overlapping edits at offset %d", e.Start)
+		}
+		prevStart = e.Start
+		out = append(out[:e.Start:e.Start], append([]byte(e.New), out[e.End:]...)...)
+		if e.NewImport != "" {
+			imports = append(imports, e.NewImport)
+		}
+	}
+	for _, imp := range imports {
+		out, err = ensureImport(out, imp)
+		if err != nil {
+			return false, err
+		}
+	}
+	if string(out) == string(src) {
+		return false, nil
+	}
+	return true, os.WriteFile(file, out, 0o644)
+}
+
+// ensureImport adds `import "path"` to src if it is not already
+// imported, keeping the existing grouped-import block sorted.
+func ensureImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, fmt.Errorf("reparsing after edit: %w", err)
+	}
+	for _, imp := range f.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == path {
+			return src, nil
+		}
+	}
+	quoted := strconv.Quote(path)
+
+	// Grouped block: insert in sorted position.
+	if i := strings.Index(string(src), "import ("); i >= 0 {
+		end := strings.Index(string(src[i:]), ")")
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated import block")
+		}
+		block := string(src[i : i+end])
+		lines := strings.Split(block, "\n")
+		insertAt := len(lines) // index of the line we insert before
+		for li := 1; li < len(lines); li++ {
+			t := strings.TrimSpace(lines[li])
+			if t == "" || !strings.HasPrefix(t, `"`) {
+				continue
+			}
+			if quoted < t {
+				insertAt = li
+				break
+			}
+			insertAt = li + 1
+		}
+		lines = append(lines[:insertAt:insertAt], append([]string{"\t" + quoted}, lines[insertAt:]...)...)
+		rebuilt := strings.Join(lines, "\n")
+		out := string(src[:i]) + rebuilt + string(src[i+end:])
+		return []byte(out), nil
+	}
+
+	// Single import or none: add a new import statement after the first
+	// existing one, or after the package clause.
+	s := string(src)
+	if i := strings.Index(s, "\nimport "); i >= 0 {
+		nl := strings.Index(s[i+1:], "\n")
+		if nl < 0 {
+			return nil, fmt.Errorf("malformed import line")
+		}
+		at := i + 1 + nl + 1
+		return []byte(s[:at] + "import " + quoted + "\n" + s[at:]), nil
+	}
+	if i := strings.Index(s, "\npackage "); i >= 0 || strings.HasPrefix(s, "package ") {
+		if i < 0 {
+			i = 0
+		} else {
+			i++
+		}
+		nl := strings.Index(s[i:], "\n")
+		if nl < 0 {
+			return nil, fmt.Errorf("no line after package clause")
+		}
+		at := i + nl + 1
+		return []byte(s[:at] + "\nimport " + quoted + "\n" + s[at:]), nil
+	}
+	return nil, fmt.Errorf("no package clause found")
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixAnalyzers are the analyzers whose diagnostics carry mechanical
+// TextEdits.
+func fixAnalyzers() []*Analyzer {
+	det, ew := DeterminismAnalyzer(), ErrWrapAnalyzer()
+	det.AppliesTo, ew.AppliesTo = nil, nil
+	return []*Analyzer{det, ew}
+}
+
+// copyFixture stages the fixes fixture as its own throwaway module so
+// ApplyFixes can rewrite files without touching testdata.
+func copyFixture(t *testing.T) (dir, file string) {
+	t.Helper()
+	dir = t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fixes", "fixes.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file = filepath.Join(dir, "fixes.go")
+	if err := os.WriteFile(file, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixfixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, file
+}
+
+func analyzeFixture(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Fatalf("fixture does not type-check: %v", te)
+	}
+	return Run([]*Package{pkg}, fixAnalyzers())
+}
+
+// TestApplyFixes applies every mechanical rewrite (%v→%w,
+// sort-before-range with the sort import) and compares the result
+// byte-for-byte against testdata/fixes.golden. The rewritten package
+// must type-check and re-analyze clean.
+func TestApplyFixes(t *testing.T) {
+	dir, file := copyFixture(t)
+
+	diags := analyzeFixture(t, dir)
+	fixable := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			fixable++
+		}
+	}
+	if fixable < 2 {
+		t.Fatalf("fixture produced %d fixable diagnostics, want >= 2 (one per rewrite class)", fixable)
+	}
+
+	fixed, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(fixed) != 1 || fixed[0] != file {
+		t.Fatalf("ApplyFixes rewrote %v, want exactly [%s]", fixed, file)
+	}
+
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "fixes.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update to create): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("fixed source differs from %s:\n--- got ---\n%s--- want ---\n%s",
+				goldenPath, got, want)
+		}
+	}
+
+	// The rewritten tree must type-check and carry no fixable
+	// diagnostics: -fix converges in one pass.
+	for _, d := range analyzeFixture(t, dir) {
+		if d.Fix != nil {
+			t.Errorf("fixable diagnostic survives the fix: %s", d.String())
+		}
+	}
+}
+
+// TestApplyFixesIsIdempotent runs the apply cycle twice: the second
+// pass must find nothing to rewrite (the CI no-op check depends on
+// this).
+func TestApplyFixesIsIdempotent(t *testing.T) {
+	dir, file := copyFixture(t)
+	if _, err := ApplyFixes(analyzeFixture(t, dir)); err != nil {
+		t.Fatalf("first ApplyFixes: %v", err)
+	}
+	once, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := ApplyFixes(analyzeFixture(t, dir))
+	if err != nil {
+		t.Fatalf("second ApplyFixes: %v", err)
+	}
+	if len(fixed) != 0 {
+		t.Errorf("second pass rewrote %v, want no changes", fixed)
+	}
+	twice, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(twice) {
+		t.Error("file contents changed on the second apply pass")
+	}
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAnalyzer polices the per-cycle call trees of the engine.
+// Roots are functions named Run, Tick, or Cycle plus any function
+// marked //spawnvet:hotpath; the analyzer closes the same-package call
+// graph over them and, inside that hot set, flags:
+//
+//   - fmt formatting calls (Sprintf and friends allocate and reflect);
+//   - closure (func literal) allocations;
+//   - map allocations (make(map...), map literals) and new(...);
+//   - implicit interface conversions (boxing) at call argument
+//     positions — the classic container/heap tax;
+//   - calls through func-typed struct fields (observability and fault
+//     hooks) without a dominating `field != nil` guard.
+//
+// Code on cold sub-paths — arguments to panic, expressions inside
+// return statements — is exempt: abort and invariant reporting may
+// format freely. Everything else needs a //spawnvet:allow hotpath
+// directive with a justification.
+func HotPathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "hotpath",
+		Doc:       "flag allocations, formatting, boxing, and unguarded hook calls in per-cycle call trees",
+		AppliesTo: pathWithin("internal/sim"),
+		Run:       runHotPath,
+	}
+}
+
+// hotRootNames are implicit hot-path roots.
+var hotRootNames = map[string]bool{"Run": true, "Tick": true, "Cycle": true}
+
+// fmtFormatting lists the fmt functions that allocate on every call.
+var fmtFormatting = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true, "Appendf": true,
+}
+
+func runHotPath(pass *Pass) {
+	pkg := pass.Pkg
+	info := pkg.Info
+
+	// Map every function object to its declaration.
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fn
+			if hotRootNames[fn.Name.Name] || pkg.hotPathMarked(fn) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Close the same-package call graph over the roots.
+	hot := map[*ast.FuncDecl]bool{}
+	var visit func(fn *ast.FuncDecl)
+	visit = func(fn *ast.FuncDecl) {
+		if hot[fn] {
+			return
+		}
+		hot[fn] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := calleeObject(info, call); obj != nil {
+				if callee, ok := decls[obj]; ok {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	for fn := range hot {
+		checkHotFunc(pass, fn)
+	}
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !inColdContext(info, stack) {
+				pass.Reportf(n.Pos(), "closure allocated in hot path (%s call tree)", name)
+			}
+		case *ast.CompositeLit:
+			if inColdContext(info, stack) {
+				return
+			}
+			if tv, ok := info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal allocated in hot path (%s call tree)", name)
+				}
+			}
+		case *ast.CallExpr:
+			if inColdContext(info, stack) {
+				return
+			}
+			checkHotCall(pass, name, n, stack)
+		}
+	})
+}
+
+func checkHotCall(pass *Pass, fnName string, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.Pkg.Info
+
+	if isBuiltin(info, call, "panic") {
+		return // a taken panic is the cold path by definition
+	}
+	if isBuiltin(info, call, "new") {
+		pass.Reportf(call.Pos(), "new(...) allocation in hot path (%s call tree)", fnName)
+		return
+	}
+	if isBuiltin(info, call, "make") && len(call.Args) > 0 {
+		if tv, ok := info.Types[call.Args[0]]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(call.Pos(), "make(map) allocation in hot path (%s call tree)", fnName)
+			}
+		}
+		return
+	}
+	if obj := calleeObject(info, call); obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "fmt" && fmtFormatting[fn.Name()] {
+			pass.Reportf(call.Pos(), "fmt.%s in hot path (%s call tree); format on abort/error paths only", fn.Name(), fnName)
+			return
+		}
+	}
+
+	// Boxing: a concrete argument passed to an interface parameter.
+	if tv, ok := info.Types[call.Fun]; ok && !tv.IsType() {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			checkBoxing(pass, fnName, call, sig)
+		}
+	}
+
+	// Unguarded hook: a call through a func-typed struct field.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if _, isFunc := s.Type().Underlying().(*types.Signature); isFunc {
+				selText := exprText(sel)
+				if !nilGuarded(call, selText, stack) {
+					pass.Reportf(call.Pos(),
+						"hook call %s(...) without a %s != nil guard in hot path (%s call tree)",
+						selText, selText, fnName)
+				}
+			}
+		}
+	}
+}
+
+// checkBoxing flags concrete values converted to interface parameters.
+func checkBoxing(pass *Pass, fnName string, call *ast.CallExpr, sig *types.Signature) {
+	info := pass.Pkg.Info
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) ||
+			types.Identical(at, types.Typ[types.UntypedNil]) || at == types.Typ[types.Invalid] {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"implicit conversion of %s to interface %s allocates (boxing) in hot path (%s call tree)",
+			types.TypeString(at, types.RelativeTo(pass.Pkg.Types)),
+			types.TypeString(pt, types.RelativeTo(pass.Pkg.Types)),
+			fnName)
+	}
+}
+
+// nilGuarded reports whether the hook call is dominated by a nil check
+// of the same selector: either an enclosing if-condition, or an earlier
+// conjunct of the boolean expression containing the call
+// (`f.hook != nil && f.hook(x)`).
+func nilGuarded(call *ast.CallExpr, selText string, stack []ast.Node) bool {
+	var child ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.BinaryExpr:
+			if anc.Op.String() == "&&" && anc.Y == child && containsNilCheck(anc.X, selText) {
+				return true
+			}
+		case *ast.IfStmt:
+			if anc.Body == child || containsBody(anc.Body, call) {
+				if containsNilCheck(anc.Cond, selText) {
+					return true
+				}
+			}
+		case *ast.FuncLit:
+			// A guard outside the closure does not dominate calls inside
+			// it at a later time.
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// containsBody reports whether node n lies within block b.
+func containsBody(b *ast.BlockStmt, n ast.Node) bool {
+	return b.Pos() <= n.Pos() && n.End() <= b.End()
+}

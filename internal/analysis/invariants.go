@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InvariantsAnalyzer enforces the engine's panic discipline: inside the
+// simulator packages (internal/sim and its children) a panic is a
+// detected broken conservation law, and it must carry a
+// *kernel.InvariantError — normally built with kernel.Invariantf — so
+// the harness can recover it into a structured error with cycle and
+// component context. Panicking with anything else (a string, a bare
+// error) escapes that recovery contract. Documented constructor panics
+// (sim.New) carry //spawnvet:allow invariants directives.
+func InvariantsAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "invariants",
+		Doc:       "engine packages may panic only with *kernel.InvariantError (kernel.Invariantf)",
+		AppliesTo: pathWithin("internal/sim"),
+		Run:       runInvariants,
+	}
+}
+
+func runInvariants(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			if isInvariantValue(info, arg) {
+				return true
+			}
+			t := "unknown"
+			if tv, ok := info.Types[arg]; ok && tv.Type != nil {
+				t = types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types))
+			}
+			pass.Reportf(call.Pos(),
+				"engine panic with %s; panic only with *kernel.InvariantError (use kernel.Invariantf) so the harness can recover it",
+				t)
+			return true
+		})
+	}
+}
+
+// isInvariantValue reports whether the expression is a call to
+// Invariantf or otherwise statically typed *InvariantError.
+func isInvariantValue(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if obj := calleeObject(info, call); obj != nil && obj.Name() == "Invariantf" {
+			return true
+		}
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "InvariantError"
+}

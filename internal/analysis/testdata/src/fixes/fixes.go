@@ -1,0 +1,22 @@
+// Package fixes is the spawnvet -fix fixture: every diagnostic in here
+// carries a mechanical TextEdit, and applying them must yield
+// testdata/fixes.golden exactly.
+package fixes
+
+import (
+	"fmt"
+)
+
+// Flatten's %v becomes %w.
+func Flatten(err error) error {
+	return fmt.Errorf("loading config: %v", err)
+}
+
+// SumValues gains the collect-sort-iterate prelude.
+func SumValues(m map[string]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, len(k)+v)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package hotpath is a spawnvet golden-test fixture: Tick is an
+// implicit hot-path root, Step a marked one, and Cold stays outside
+// the closed call graph.
+package hotpath
+
+import "fmt"
+
+// Engine is a toy per-cycle engine with an optional observability hook.
+type Engine struct {
+	hook  func(int)
+	count int
+}
+
+// Tick is a hot-path root by name. Its body and same-package callees
+// are checked.
+func (e *Engine) Tick(now int) {
+	s := fmt.Sprintf("cycle %d", now) // flagged: formatting per cycle
+	_ = s
+	e.hook(now) // flagged: unguarded hook call
+	if e.hook != nil {
+		e.hook(now) // guarded: not flagged
+	}
+	if e.hook != nil && now > 0 {
+		e.hook(now) // guarded by the left conjunct: not flagged
+	}
+	e.helper(now)
+}
+
+// helper is hot because Tick calls it.
+func (e *Engine) helper(now int) {
+	m := make(map[int]int) // flagged: map allocation per cycle
+	m[now] = now
+	box(now) // argument flagged: int boxed into interface{}
+}
+
+func box(v interface{}) {}
+
+//spawnvet:hotpath
+func (e *Engine) Step(now int) {
+	//spawnvet:allow hotpath fixture: amortized slow-path formatting
+	_ = fmt.Sprint(now)
+	e.count++
+}
+
+// Abort formats on the cold path (inside a return): not flagged.
+func (e *Engine) Cycle(now int) string {
+	if now < 0 {
+		return fmt.Sprintf("bad cycle %d", now)
+	}
+	e.count++
+	return ""
+}
+
+// Cold is never reached from a root: nothing inside is flagged.
+func (e *Engine) Cold(now int) string {
+	return fmt.Sprintf("cold %d", now)
+}

@@ -1,0 +1,41 @@
+// Package invariants is a spawnvet golden-test fixture: engine panics
+// must carry a *InvariantError.
+package invariants
+
+import "errors"
+
+// InvariantError mirrors the engine's structured panic payload.
+type InvariantError struct{ msg string }
+
+func (e *InvariantError) Error() string { return e.msg }
+
+// Invariantf mirrors kernel.Invariantf.
+func Invariantf(format string, args ...interface{}) *InvariantError {
+	return &InvariantError{msg: format}
+}
+
+// PanicString panics with a bare string: flagged.
+func PanicString() {
+	panic("conservation broken")
+}
+
+// PanicErr panics with an unstructured error: flagged.
+func PanicErr() {
+	panic(errors.New("boom"))
+}
+
+// PanicInvariantf panics through the constructor: not flagged.
+func PanicInvariantf(now uint64) {
+	panic(Invariantf("broken at %d", now))
+}
+
+// PanicTyped panics with a typed value: not flagged.
+func PanicTyped(e *InvariantError) {
+	panic(e)
+}
+
+// PanicAllowed carries a suppression directive: not flagged.
+func PanicAllowed(err error) {
+	//spawnvet:allow invariants fixture: documented constructor contract
+	panic(err)
+}

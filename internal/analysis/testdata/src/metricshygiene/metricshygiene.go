@@ -1,0 +1,36 @@
+// Package metricshygiene is a spawnvet golden-test fixture for
+// instrument registration discipline.
+package metricshygiene
+
+import "spawnsim/internal/metrics"
+
+type engine struct {
+	ticks *metrics.Counter
+	dead  *metrics.Counter
+}
+
+func setup(reg *metrics.Registry, dynamic string) *engine {
+	e := &engine{}
+	e.ticks = reg.Counter("engine_ticks")
+	e.dead = reg.Counter("engine_dead_counter") // registered, never written: flagged
+	reg.Counter("engine_discarded")             // handle dropped on the floor: flagged
+	_ = reg.Counter("EngineBadName")            // not snake_case: flagged
+	_ = reg.Counter(dynamic)                    // dynamic name: flagged
+	e.ticks = reg.Counter("engine_ticks")       // unlabeled duplicate: flagged
+
+	// A labeled family may register the same name at several sites.
+	a := reg.Counter("engine_labeled", "unit", "0")
+	b := reg.Counter("engine_labeled", "unit", "1")
+	a.Inc()
+	b.Inc()
+
+	//spawnvet:allow metrics fixture: handle owned by a test harness
+	reg.Counter("engine_suppressed")
+
+	// Func instruments are snapshot-time collectors: exempt from the
+	// write check.
+	reg.GaugeFunc("engine_cycle", func() float64 { return 0 })
+	return e
+}
+
+func (e *engine) tick() { e.ticks.Inc() }

@@ -185,7 +185,7 @@ func Parse(spec string, seed uint64) (Plan, error) {
 		parseProb := func() (float64, error) {
 			f, err := strconv.ParseFloat(prob, 64)
 			if err != nil {
-				return 0, fmt.Errorf("faults: %s: bad probability %q: %v", key, prob, err)
+				return 0, fmt.Errorf("faults: %s: bad probability %q: %w", key, prob, err)
 			}
 			return f, nil
 		}
@@ -195,7 +195,7 @@ func Parse(spec string, seed uint64) (Plan, error) {
 			}
 			n, err := strconv.ParseUint(arg, 10, 64)
 			if err != nil {
-				return 0, fmt.Errorf("faults: %s: bad %s %q: %v", key, name, arg, err)
+				return 0, fmt.Errorf("faults: %s: bad %s %q: %w", key, name, arg, err)
 			}
 			return n, nil
 		}

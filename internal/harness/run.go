@@ -158,7 +158,7 @@ func policyFor(scheme string, app *workloads.App, cfg config.GPU) (kernel.Policy
 	case strings.HasPrefix(scheme, "threshold:"):
 		t, err := strconv.Atoi(strings.TrimPrefix(scheme, "threshold:"))
 		if err != nil {
-			return nil, 0, fmt.Errorf("harness: bad scheme %q: %v", scheme, err)
+			return nil, 0, fmt.Errorf("harness: bad scheme %q: %w", scheme, err)
 		}
 		return runtime.Threshold{T: t}, t, nil
 	default:

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spawnsim/internal/config"
+	spawn "spawnsim/internal/core"
+	"spawnsim/internal/faults"
+	"spawnsim/internal/metrics"
+	"spawnsim/internal/trace"
+)
+
+// deterministicRun executes one fully instrumented simulation — chaos
+// plan active, invariant auditor on, metrics registered, every event
+// streamed to JSONL — and returns the byte-level artifacts a replay
+// must reproduce exactly.
+func deterministicRun(t *testing.T) (resultJSON, traceJSONL, metricsJSON []byte) {
+	t.Helper()
+	cfg := config.K20m()
+	plan := faults.Mild(11)
+	inj, err := faults.New(plan)
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	var traceBuf bytes.Buffer
+	sink := trace.NewJSONL(&traceBuf)
+	reg := metrics.NewRegistry()
+
+	g := New(Options{
+		Config:          cfg,
+		Policy:          spawn.New(cfg),
+		MaxCycles:       50_000_000,
+		Sinks:           []trace.Sink{sink},
+		Metrics:         reg,
+		Faults:          inj,
+		CheckInvariants: true,
+	})
+	g.LaunchHost(dpParent(256, 4, 40, 4))
+	res, err := g.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("closing trace sink: %v", err)
+	}
+	if len(res.SiteDecisions) == 0 {
+		t.Fatal("metrics enabled but Result.SiteDecisions is empty")
+	}
+	if inj.TotalInjected() == 0 {
+		t.Fatal("chaos plan active but no faults were injected; the run does not exercise the perturbed paths")
+	}
+
+	rj, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshaling Result: %v", err)
+	}
+	snap := reg.Snapshot(res.Cycles)
+	var metricsBuf bytes.Buffer
+	if err := snap.WriteJSON(&metricsBuf); err != nil {
+		t.Fatalf("writing metrics snapshot: %v", err)
+	}
+	return rj, traceBuf.Bytes(), metricsBuf.Bytes()
+}
+
+// TestRunIsBitIdentical is the determinism contract's regression test:
+// two simulations of the same (config, seed, plan) triple, with chaos
+// injection and the invariant auditor enabled, must produce
+// byte-for-byte identical Result JSON, trace JSONL, and metrics
+// snapshots. Map-order leaks (decBySite, sink close-out) show up here
+// as flaky diffs.
+func TestRunIsBitIdentical(t *testing.T) {
+	res1, trace1, metrics1 := deterministicRun(t)
+	res2, trace2, metrics2 := deterministicRun(t)
+
+	if !bytes.Equal(res1, res2) {
+		t.Errorf("Result JSON differs between identical runs:\nrun1: %s\nrun2: %s", res1, res2)
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Errorf("trace JSONL differs between identical runs (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+	if !bytes.Equal(metrics1, metrics2) {
+		t.Errorf("metrics snapshot differs between identical runs:\nrun1: %s\nrun2: %s", metrics1, metrics2)
+	}
+}
+
+// TestSiteDecisionsSortedAndConsistent pins the decBySite emission
+// order: sites appear sorted, and the per-site counters agree with the
+// registry's launch_accepted/launch_declined/launch_deferred series.
+func TestSiteDecisionsSortedAndConsistent(t *testing.T) {
+	cfg := config.K20m()
+	reg := metrics.NewRegistry()
+	res := run(t, spawn.New(cfg), dpParent(256, 4, 40, 4),
+		func(o *Options) { o.Metrics = reg })
+
+	if len(res.SiteDecisions) == 0 {
+		t.Fatal("no site decisions recorded")
+	}
+	var accepted, declined, deferred uint64
+	for i, sd := range res.SiteDecisions {
+		if i > 0 && !(res.SiteDecisions[i-1].Site < sd.Site) {
+			t.Errorf("SiteDecisions out of order: %q before %q",
+				res.SiteDecisions[i-1].Site, sd.Site)
+		}
+		accepted += sd.Accepted
+		declined += sd.Declined
+		deferred += sd.Deferred
+	}
+	snap := reg.Snapshot(res.Cycles)
+	var regAccepted, regDeclined, regDeferred float64
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "launch_accepted":
+			regAccepted += m.Value
+		case "launch_declined":
+			regDeclined += m.Value
+		case "launch_deferred":
+			regDeferred += m.Value
+		}
+	}
+	if float64(accepted) != regAccepted || float64(declined) != regDeclined || float64(deferred) != regDeferred {
+		t.Errorf("SiteDecisions totals (%d/%d/%d) disagree with registry (%v/%v/%v)",
+			accepted, declined, deferred, regAccepted, regDeclined, regDeferred)
+	}
+	if accepted == 0 && declined == 0 && deferred == 0 {
+		t.Error("all site decision counters are zero")
+	}
+}

@@ -86,6 +86,8 @@ func (g *GMU) Instrument(reg *metrics.Registry) {
 // Enqueue places a kernel into the pending pool (post launch overhead).
 // Aggregated (DTBL) kernels go to the direct queue; others to the HWQ
 // selected by their stream id.
+//
+//spawnvet:hotpath
 func (g *GMU) Enqueue(k *kernel.Kernel) {
 	qi := len(g.hwqs) // direct queue index in mEnqueues
 	if k.Aggregated {
@@ -129,6 +131,8 @@ func (g *GMU) headOf(qi int) *kernel.Kernel {
 // rotating round-robin across the HWQs and the direct queue. place is
 // responsible for SMX selection, resource checks, and CTA bookkeeping
 // (including advancing k.NextCTA). It returns the number of CTAs placed.
+//
+//spawnvet:hotpath
 func (g *GMU) Dispatch(now uint64, place PlaceFunc) int {
 	if g.stalled != nil && g.stalled(now) {
 		return 0

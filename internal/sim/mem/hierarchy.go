@@ -180,6 +180,8 @@ func (h *Hierarchy) SetDRAMPenalty(penalty func(now uint64) uint64) { h.dramPena
 // are coalesced into unique cache-line transactions; the warp's
 // completion cycle is that of the slowest transaction. Stores are timed
 // like loads (write-allocate).
+//
+//spawnvet:hotpath
 func (h *Hierarchy) Access(now uint64, smx int, addrs []uint64) uint64 {
 	h.WarpAccesses++
 	lineShift := h.lineShift

@@ -1,6 +1,19 @@
 package sim
 
-import "spawnsim/internal/stats"
+import (
+	"sort"
+
+	"spawnsim/internal/stats"
+)
+
+// SiteDecision aggregates the launch-policy outcomes attributed to one
+// launch site (the parent kernel definition name).
+type SiteDecision struct {
+	Site     string
+	Accepted uint64
+	Declined uint64
+	Deferred uint64
+}
 
 // Result carries the metrics of one completed simulation.
 type Result struct {
@@ -53,6 +66,12 @@ type Result struct {
 	// Memory system counters.
 	DRAMAccesses uint64
 	Transactions uint64
+
+	// SiteDecisions breaks launch-policy outcomes down by launch site,
+	// sorted by site name (non-nil only when Options.Metrics is set).
+	// The order is part of the determinism contract: two runs of the
+	// same (config, seed, plan) must serialize identically.
+	SiteDecisions []SiteDecision
 }
 
 // result snapshots the metrics at the end of Run.
@@ -88,5 +107,30 @@ func (g *GPU) result() *Result {
 		r.ChildCTASeries = g.childSeries
 		r.UtilSeries = g.utilSeries
 	}
+	r.SiteDecisions = g.siteDecisions()
 	return r
+}
+
+// siteDecisions snapshots decBySite in sorted site order. Iterating the
+// map directly would leak Go's randomized order into Result.
+func (g *GPU) siteDecisions() []SiteDecision {
+	if g.decBySite == nil {
+		return nil
+	}
+	sites := make([]string, 0, len(g.decBySite))
+	for site := range g.decBySite {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	out := make([]SiteDecision, 0, len(sites))
+	for _, site := range sites {
+		sc := g.decBySite[site]
+		out = append(out, SiteDecision{
+			Site:     site,
+			Accepted: sc.accepted.Value(),
+			Declined: sc.declined.Value(),
+			Deferred: sc.deferred.Value(),
+		})
+	}
+	return out
 }

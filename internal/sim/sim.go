@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -100,18 +99,58 @@ type flightItem struct {
 	warp *kernel.Warp // launching warp (nil for host launches)
 }
 
+// flightHeap is a concrete binary min-heap ordered by arrival cycle.
+// It reproduces container/heap's sift order exactly — ties between
+// equal arrival cycles must pop in the same order as before — but
+// without boxing every flightItem through heap.Interface on the
+// per-cycle launch and arrival paths.
 type flightHeap []flightItem
 
-func (h flightHeap) Len() int            { return len(h) }
-func (h flightHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h flightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *flightHeap) Push(x interface{}) { *h = append(*h, x.(flightItem)) }
-func (h *flightHeap) Pop() interface{} {
+func (h flightHeap) less(i, j int) bool { return h[i].at < h[j].at }
+
+func (h *flightHeap) push(it flightItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *flightHeap) pop() flightItem {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	it := old[n]
+	*h = old[:n]
 	return it
+}
+
+func (h flightHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h flightHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // GPU is one simulated GPU instance. Create with New, submit host
@@ -190,6 +229,7 @@ type GPU struct {
 func New(opts Options) *GPU {
 	g, err := NewChecked(opts)
 	if err != nil {
+		//spawnvet:allow invariants documented constructor contract: New panics on invalid Options; NewChecked is the error-returning path
 		panic(err)
 	}
 	return g
@@ -370,7 +410,7 @@ func (g *GPU) streamFor(w *kernel.Warp) kernel.StreamID {
 // the kernel enters the pending pool at the current clock.
 func (g *GPU) LaunchHost(def *kernel.Def) *kernel.Kernel {
 	if err := def.Validate(); err != nil {
-		panic(err)
+		panic(kernel.Invariantf(g.clock, "sim", "LaunchHost with invalid kernel def: %v", err))
 	}
 	g.kernelSeq++
 	k := &kernel.Kernel{
@@ -381,7 +421,7 @@ func (g *GPU) LaunchHost(def *kernel.Def) *kernel.Kernel {
 	}
 	g.liveKernels++
 	g.emit(trace.Event{Cycle: g.clock, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
-	heap.Push(&g.flight, flightItem{at: g.clock, k: k})
+	g.flight.push(flightItem{at: g.clock, k: k})
 	return k
 }
 
@@ -427,7 +467,7 @@ func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandida
 	g.offloadedWork += int64(cand.Workload)
 	g.launchCycles = append(g.launchCycles, now)
 	g.emit(trace.Event{Cycle: now, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1, Extra: cand.Workload})
-	heap.Push(&g.flight, flightItem{at: arrival, k: k, warp: w})
+	g.flight.push(flightItem{at: arrival, k: k, warp: w})
 }
 
 // beginLaunch latches an InstrLaunch into the warp for (possibly
@@ -719,7 +759,7 @@ func (g *GPU) execute(now uint64, w *kernel.Warp) {
 func (g *GPU) processArrivals(now uint64) bool {
 	any := false
 	for len(g.flight) > 0 && g.flight[0].at <= now {
-		it := heap.Pop(&g.flight).(flightItem)
+		it := g.flight.pop()
 		it.k.ArrivalCycle = now
 		if it.warp != nil {
 			it.warp.PendingLaunches--
@@ -738,11 +778,13 @@ func (g *GPU) processArrivals(now uint64) bool {
 
 // heartbeat reports progress to the Options.Heartbeat callback.
 func (g *GPU) heartbeat(now uint64) {
+	//spawnvet:allow determinism heartbeat rate is presentation-only; it never feeds Result, traces, or metrics
 	wall := time.Now()
 	rate := 0.0
 	if dt := wall.Sub(g.hbLastWall).Seconds(); dt > 0 {
 		rate = float64(now-g.hbLastCycle) / dt
 	}
+	//spawnvet:allow hotpath heartbeat only runs when Options.Heartbeat is set; Run guards the call with hb != nil
 	g.hb(Progress{
 		Cycle:         now,
 		LiveKernels:   g.liveKernels,
@@ -781,12 +823,14 @@ func (g *GPU) Run() (*Result, error) {
 		return nil, fmt.Errorf("sim: Run called with no kernels submitted")
 	}
 	if g.hb != nil {
+		//spawnvet:allow determinism heartbeat wall-clock baseline is presentation-only
 		g.hbStart = time.Now()
 		g.hbLastWall = g.hbStart
 		g.hbNext = g.hbEvery
 	}
 	var wallDeadline time.Time
 	if g.deadline > 0 {
+		//spawnvet:allow determinism wall-clock deadline bounds runaway sweeps; an expired deadline aborts rather than changing results
 		wallDeadline = time.Now().Add(g.deadline)
 	}
 	g.invNext = g.invEvery
@@ -808,6 +852,7 @@ func (g *GPU) Run() (*Result, error) {
 					return g.abort(kind, now, err, "")
 				}
 			}
+			//spawnvet:allow determinism wall-clock deadline check; aborts the run, never perturbs it
 			if !wallDeadline.IsZero() && time.Now().After(wallDeadline) {
 				return g.abort(AbortDeadline, now, context.DeadlineExceeded,
 					fmt.Sprintf("wall-clock deadline %v elapsed", g.deadline))

@@ -142,6 +142,8 @@ func (m *SMX) FitsRes(threads, regs, shmem int) bool {
 // Place reserves resources for c and registers its warps with the
 // schedulers (alternating by warp index). ageSeq provides monotonically
 // increasing ages for GTO ordering.
+//
+//spawnvet:hotpath
 func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
 	if !m.Fits(c) {
 		panic(kernel.Invariantf(now, m.component(), "placing CTA that does not fit"))
@@ -170,6 +172,8 @@ func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
 
 // Release frees the resources held by c (CTA completion or
 // relinquishment at a synchronization point).
+//
+//spawnvet:hotpath
 func (m *SMX) Release(c *kernel.CTA) {
 	if c.SMX != m.ID {
 		panic(kernel.Invariantf(0, m.component(), "releasing CTA resident on smx %d", c.SMX))
@@ -192,6 +196,8 @@ func (m *SMX) Release(c *kernel.CTA) {
 func (m *SMX) Schedulers() int { return len(m.scheds) }
 
 // Pick returns a warp eligible to issue on scheduler si at `now`, or nil.
+//
+//spawnvet:hotpath
 func (m *SMX) Pick(si int, now uint64) *kernel.Warp {
 	return m.scheds[si].pick(now)
 }

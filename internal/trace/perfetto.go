@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Perfetto is a Sink exporting the run as Chrome trace-event JSON, the
@@ -155,12 +156,30 @@ func (p *Perfetto) Record(e Event) {
 // Close terminates still-open spans at the last seen cycle (so aborted
 // runs render), finalizes the JSON document, and flushes.
 func (p *Perfetto) Close() error {
-	for key, enc := range p.openCTA {
+	// Emit forced closes in sorted order: map iteration order would make
+	// two exports of the same aborted run differ byte-for-byte.
+	ctaKeys := make([][2]int, 0, len(p.openCTA))
+	for key := range p.openCTA {
+		ctaKeys = append(ctaKeys, key)
+	}
+	sort.Slice(ctaKeys, func(i, j int) bool {
+		if ctaKeys[i][0] != ctaKeys[j][0] {
+			return ctaKeys[i][0] < ctaKeys[j][0]
+		}
+		return ctaKeys[i][1] < ctaKeys[j][1]
+	})
+	for _, key := range ctaKeys {
+		enc := p.openCTA[key]
 		p.async("e", "cta", enc>>16, fmt.Sprintf("K%d/CTA%d", key[0], key[1]),
 			(enc&0xffff)+1, p.last, "")
 	}
 	p.openCTA = map[[2]int]int{}
+	kernels := make([]int, 0, len(p.openK))
 	for k := range p.openK {
+		kernels = append(kernels, k)
+	}
+	sort.Ints(kernels)
+	for _, k := range kernels {
 		p.async("e", "kernel", k, fmt.Sprintf("kernel %d", k), kernelsPID, p.last, "")
 	}
 	p.openK = map[int]bool{}
