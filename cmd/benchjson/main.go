@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// object mapping each benchmark name to its ns/op, so CI can archive a
+// machine-readable latency snapshot (BENCH_pr4.json) next to the repo.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | benchjson -out BENCH_pr4.json
+//
+// Lines that are not benchmark results (headers, PASS, ok) are ignored.
+// Exit status 1 when no benchmark lines were found (a broken bench run
+// must not silently produce an empty snapshot).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := marshalSorted(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts "BenchmarkName-P  iters  N ns/op" lines. The
+// GOMAXPROCS suffix is stripped so the keys are stable across runners.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// ns/op is the first unit column; later columns (B/op, allocs/op)
+		// may or may not be present.
+		if fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = ns
+	}
+	return out, sc.Err()
+}
+
+// marshalSorted renders the map with sorted keys, one entry per line.
+func marshalSorted(results map[string]float64) ([]byte, error) {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		v, err := json.Marshal(results[n])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, v)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}")
+	return []byte(b.String()), nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: spawnsim",
+		"BenchmarkTable1-8   \t       1\t  12345678 ns/op",
+		"BenchmarkSweep-16          2\t   987.5 ns/op\t  32 B/op\t 1 allocs/op",
+		"not a benchmark line",
+		"PASS",
+		"ok  \tspawnsim\t1.234s",
+	}, "\n")
+	got, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"BenchmarkTable1": 12345678, "BenchmarkSweep": 987.5}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v (GOMAXPROCS suffix must be stripped)", name, got[name], ns)
+		}
+	}
+}
+
+func TestMarshalSortedIsValidJSON(t *testing.T) {
+	data, err := marshalSorted(map[string]float64{"B": 2, "A": 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]float64
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if round["A"] != 1.5 || round["B"] != 2 {
+		t.Errorf("round-trip mismatch: %v", round)
+	}
+	if strings.Index(string(data), `"A"`) > strings.Index(string(data), `"B"`) {
+		t.Error("keys are not sorted")
+	}
+}

@@ -1,7 +1,8 @@
 // Command spawnvet is the project's static-analysis driver. It loads
 // the module with the standard library's parser and type checker (no
-// external tooling) and runs the determinism, hotpath, invariants,
-// errwrap, and metrics analyzers over it.
+// external tooling) and runs eight analyzers over it: determinism,
+// hotpath, invariants, errwrap, metricshygiene, seedtaint, exhaustive,
+// and units.
 //
 // Usage:
 //

@@ -7,13 +7,14 @@ import (
 	"log"
 
 	"spawnsim/internal/harness"
+	"spawnsim/internal/sim/kernel"
 )
 
 func main() {
 	const bench = "BFS-graph500"
 	fmt.Printf("Running %s under every scheme (this takes a few seconds)...\n\n", bench)
 
-	var flatCycles uint64
+	var flatCycles kernel.Cycle
 	for _, scheme := range []string{
 		harness.SchemeFlat,     // non-DP: parents do all the work
 		harness.SchemeBaseline, // DP with the app's static THRESHOLD

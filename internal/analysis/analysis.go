@@ -94,6 +94,9 @@ func Analyzers() []*Analyzer {
 		InvariantsAnalyzer(),
 		ErrWrapAnalyzer(),
 		MetricsHygieneAnalyzer(),
+		SeedTaintAnalyzer(),
+		ExhaustiveAnalyzer(),
+		UnitsAnalyzer(),
 	}
 }
 

@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the intraprocedural dataflow engine the provenance
+// analyzers (seedtaint, units) build on: value-origin tracking over
+// go/types. For an expression inside one function it answers "which
+// leaf sources can flow into this value?" by chasing local-variable
+// assignments backwards, looking through parentheses, arithmetic, and
+// type conversions. The engine is deliberately flow-insensitive (every
+// assignment to a variable contributes origins, regardless of branch
+// order) and intraprocedural (calls are opaque leaves): that
+// over-approximates the true origin set, which is the safe direction
+// for taint-style checks.
+
+// OriginKind classifies the leaf sources a value can flow from.
+type OriginKind uint8
+
+const (
+	// OriginLiteral: a basic literal or a named constant.
+	OriginLiteral OriginKind = iota
+	// OriginParam: a parameter (or receiver) of the enclosing function.
+	OriginParam
+	// OriginField: a struct field read (x.F).
+	OriginField
+	// OriginCall: the result of a function or method call. Calls are
+	// leaves: the engine does not look through bodies.
+	OriginCall
+	// OriginGlobal: a package-level variable.
+	OriginGlobal
+	// OriginUnknown: anything the tracker cannot resolve (closure
+	// captures, channel receives, map/slice elements of opaque shape).
+	OriginUnknown
+)
+
+func (k OriginKind) String() string {
+	switch k {
+	case OriginLiteral:
+		return "literal"
+	case OriginParam:
+		return "parameter"
+	case OriginField:
+		return "field"
+	case OriginCall:
+		return "call"
+	case OriginGlobal:
+		return "package-level variable"
+	default:
+		return "unknown value"
+	}
+}
+
+// Origin is one leaf source of a value.
+type Origin struct {
+	Kind OriginKind
+	// Expr is the leaf expression at the source (the literal, the
+	// selector, the call).
+	Expr ast.Expr
+	// Obj is the named object behind the leaf when one exists: the
+	// parameter or field or global *types.Var, the constant, or the
+	// callee. Nil for unresolved leaves.
+	Obj types.Object
+}
+
+// originDepthCap bounds assignment-chain recursion; originFanCap bounds
+// the total origin set so pathological functions stay cheap.
+const (
+	originDepthCap = 32
+	originFanCap   = 64
+)
+
+// funcFlow holds the assignment graph of one function body.
+type funcFlow struct {
+	info *types.Info
+	// assigns maps each local variable to every expression assigned to
+	// it anywhere in the function (flow-insensitive).
+	assigns map[*types.Var][]ast.Expr
+	// params marks parameters and receivers.
+	params map[*types.Var]bool
+}
+
+// newFuncFlow builds the assignment graph for fn, which must be an
+// *ast.FuncDecl or *ast.FuncLit.
+func newFuncFlow(info *types.Info, fn ast.Node) *funcFlow {
+	f := &funcFlow{
+		info:    info,
+		assigns: map[*types.Var][]ast.Expr{},
+		params:  map[*types.Var]bool{},
+	}
+	var ftype *ast.FuncType
+	var body *ast.BlockStmt
+	switch n := fn.(type) {
+	case *ast.FuncDecl:
+		ftype, body = n.Type, n.Body
+		if n.Recv != nil {
+			f.addParams(n.Recv)
+		}
+	case *ast.FuncLit:
+		ftype, body = n.Type, n.Body
+	default:
+		return f
+	}
+	f.addParams(ftype.Params)
+	if body == nil {
+		return f
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested function literals have their own flow scope.
+			return false
+		case *ast.AssignStmt:
+			f.recordAssign(n)
+		case *ast.GenDecl:
+			if n.Tok == token.VAR {
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						f.recordValueSpec(vs)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Range bindings inherit the origins of the ranged
+			// collection: the element of a seed slice is still a seed.
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if v := f.lhsVar(id); v != nil {
+						f.assigns[v] = append(f.assigns[v], n.X)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+func (f *funcFlow) addParams(fields *ast.FieldList) {
+	for _, field := range fields.List {
+		for _, name := range field.Names {
+			if v, ok := f.info.Defs[name].(*types.Var); ok {
+				f.params[v] = true
+			}
+		}
+	}
+}
+
+// lhsVar resolves an assignment target identifier to its variable.
+func (f *funcFlow) lhsVar(id *ast.Ident) *types.Var {
+	if v, ok := f.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := f.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (f *funcFlow) recordAssign(as *ast.AssignStmt) {
+	switch {
+	case len(as.Lhs) == len(as.Rhs):
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if v := f.lhsVar(id); v != nil {
+					f.assigns[v] = append(f.assigns[v], as.Rhs[i])
+				}
+			}
+		}
+	case len(as.Rhs) == 1:
+		// Tuple assignment: every target flows from the one call.
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if v := f.lhsVar(id); v != nil {
+					f.assigns[v] = append(f.assigns[v], as.Rhs[0])
+				}
+			}
+		}
+	}
+}
+
+func (f *funcFlow) recordValueSpec(vs *ast.ValueSpec) {
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := f.info.Defs[name].(*types.Var); ok {
+				f.assigns[v] = append(f.assigns[v], vs.Values[i])
+			}
+		}
+	case len(vs.Values) == 1:
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := f.info.Defs[name].(*types.Var); ok {
+				f.assigns[v] = append(f.assigns[v], vs.Values[0])
+			}
+		}
+	}
+}
+
+// originsOf returns the leaf sources that can flow into e within this
+// function. The set is an over-approximation (see the file comment).
+func (f *funcFlow) originsOf(e ast.Expr) []Origin {
+	var out []Origin
+	f.trace(e, map[*types.Var]bool{}, 0, &out)
+	return out
+}
+
+func (f *funcFlow) add(out *[]Origin, o Origin) {
+	if len(*out) < originFanCap {
+		*out = append(*out, o)
+	}
+}
+
+// arithmeticOps are the binary operators a value flows through
+// unchanged in kind (the result is "made of" both operands).
+var arithmeticOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true,
+	token.AND: true, token.OR: true, token.XOR: true, token.AND_NOT: true,
+	token.SHL: true, token.SHR: true,
+}
+
+func (f *funcFlow) trace(e ast.Expr, visiting map[*types.Var]bool, depth int, out *[]Origin) {
+	if depth > originDepthCap || len(*out) >= originFanCap {
+		f.add(out, Origin{Kind: OriginUnknown, Expr: e})
+		return
+	}
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		f.add(out, Origin{Kind: OriginLiteral, Expr: x})
+	case *ast.Ident:
+		f.traceIdent(x, visiting, depth, out)
+	case *ast.SelectorExpr:
+		f.traceSelector(x, out)
+	case *ast.CallExpr:
+		if tv, ok := f.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			// Type conversion: the value flows through. This is what
+			// lets the units analyzer see laundering through plain
+			// integer intermediates.
+			f.trace(x.Args[0], visiting, depth+1, out)
+			return
+		}
+		f.add(out, Origin{Kind: OriginCall, Expr: x, Obj: calleeObject(f.info, x)})
+	case *ast.BinaryExpr:
+		if arithmeticOps[x.Op] {
+			f.trace(x.X, visiting, depth+1, out)
+			f.trace(x.Y, visiting, depth+1, out)
+			return
+		}
+		f.add(out, Origin{Kind: OriginUnknown, Expr: x})
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB, token.XOR:
+			f.trace(x.X, visiting, depth+1, out)
+		default:
+			f.add(out, Origin{Kind: OriginUnknown, Expr: x})
+		}
+	case *ast.StarExpr:
+		f.trace(x.X, visiting, depth+1, out)
+	case *ast.IndexExpr:
+		// The element of a collection inherits the collection's origins.
+		f.trace(x.X, visiting, depth+1, out)
+	default:
+		f.add(out, Origin{Kind: OriginUnknown, Expr: e})
+	}
+}
+
+func (f *funcFlow) traceIdent(id *ast.Ident, visiting map[*types.Var]bool, depth int, out *[]Origin) {
+	obj := f.info.Uses[id]
+	if obj == nil {
+		obj = f.info.Defs[id]
+	}
+	switch obj := obj.(type) {
+	case *types.Const:
+		f.add(out, Origin{Kind: OriginLiteral, Expr: id, Obj: obj})
+	case *types.Var:
+		switch {
+		case f.params[obj]:
+			f.add(out, Origin{Kind: OriginParam, Expr: id, Obj: obj})
+		case visiting[obj]:
+			// Assignment cycle (x = x + 1 chains): the other origins of
+			// the cycle carry the information.
+		case len(f.assigns[obj]) > 0:
+			visiting[obj] = true
+			for _, rhs := range f.assigns[obj] {
+				f.trace(rhs, visiting, depth+1, out)
+			}
+			delete(visiting, obj)
+		case obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope():
+			f.add(out, Origin{Kind: OriginGlobal, Expr: id, Obj: obj})
+		default:
+			f.add(out, Origin{Kind: OriginUnknown, Expr: id, Obj: obj})
+		}
+	default:
+		f.add(out, Origin{Kind: OriginUnknown, Expr: id, Obj: obj})
+	}
+}
+
+func (f *funcFlow) traceSelector(sel *ast.SelectorExpr, out *[]Origin) {
+	if s, ok := f.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		f.add(out, Origin{Kind: OriginField, Expr: sel, Obj: s.Obj()})
+		return
+	}
+	// Qualified identifier: pkg.Name.
+	switch obj := f.info.Uses[sel.Sel].(type) {
+	case *types.Const:
+		f.add(out, Origin{Kind: OriginLiteral, Expr: sel, Obj: obj})
+	case *types.Var:
+		f.add(out, Origin{Kind: OriginGlobal, Expr: sel, Obj: obj})
+	default:
+		f.add(out, Origin{Kind: OriginUnknown, Expr: sel, Obj: obj})
+	}
+}
+
+// flowCache builds funcFlow scopes lazily, one per enclosing function,
+// for analyzers that resolve origins at many sites in one pass.
+type flowCache struct {
+	info  *types.Info
+	flows map[ast.Node]*funcFlow
+}
+
+func newFlowCache(info *types.Info) *flowCache {
+	return &flowCache{info: info, flows: map[ast.Node]*funcFlow{}}
+}
+
+// at returns the flow scope of the innermost enclosing function on the
+// ancestor stack, or nil at package level (var initializers).
+func (c *flowCache) at(stack []ast.Node) *funcFlow {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fn := stack[i]
+			f, ok := c.flows[fn]
+			if !ok {
+				f = newFuncFlow(c.info, fn)
+				c.flows[fn] = f
+			}
+			return f
+		}
+	}
+	return nil
+}

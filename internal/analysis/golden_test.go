@@ -23,6 +23,9 @@ var goldenCases = []struct {
 	{"invariants", func() []*Analyzer { return []*Analyzer{InvariantsAnalyzer()} }},
 	{"errwrap", func() []*Analyzer { return []*Analyzer{ErrWrapAnalyzer()} }},
 	{"metricshygiene", func() []*Analyzer { return []*Analyzer{MetricsHygieneAnalyzer()} }},
+	{"seedtaint", func() []*Analyzer { return []*Analyzer{SeedTaintAnalyzer()} }},
+	{"exhaustive", func() []*Analyzer { return []*Analyzer{ExhaustiveAnalyzer()} }},
+	{"units", func() []*Analyzer { return []*Analyzer{UnitsAnalyzer()} }},
 	// The directive fixture tests the comment grammar itself; the
 	// determinism analyzer is loaded so valid directives have something
 	// real to suppress.

@@ -12,12 +12,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -208,6 +210,9 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if excludedByBuildConstraint(src) {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
@@ -234,6 +239,33 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	p.Types, _ = conf.Check(path, l.Fset, p.Files, p.Info)
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// excludedByBuildConstraint reports whether a //go:build line above the
+// package clause excludes the file from the host build: generator
+// scripts (//go:build ignore) and foreign-platform files would
+// otherwise fail the type check. Only the host GOOS/GOARCH, the gc
+// toolchain tag, and released go1.N versions evaluate true; malformed
+// expressions keep the file (the compile error is the better report).
+func excludedByBuildConstraint(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return false
+		}
+		return !expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+				strings.HasPrefix(tag, "go1")
+		})
+	}
+	return false
 }
 
 // loaderImporter resolves module-internal imports through the loader

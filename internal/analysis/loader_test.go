@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestLoaderSkipsBuildConstrainedFiles loads the buildtags fixture:
+// ignored.go carries //go:build ignore and deliberately does not
+// type-check, so a clean load proves the loader honored the constraint.
+func TestLoaderSkipsBuildConstrainedFiles(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "buildtags"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("fixture did not type-check (ignored.go was loaded?): %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (ignored.go skipped)", len(pkg.Files))
+	}
+	if pkg.Types.Name() != "buildtags" {
+		t.Errorf("package name = %q, want buildtags", pkg.Types.Name())
+	}
+}
+
+func TestExcludedByBuildConstraint(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"no constraint", "package p\n", false},
+		{"ignore", "//go:build ignore\n\npackage main\n", true},
+		{"host os", "//go:build " + runtime.GOOS + "\n\npackage p\n", false},
+		{"foreign os", "//go:build plan9 && arm\n\npackage p\n", true},
+		{"negated host", "//go:build !" + runtime.GOOS + "\n\npackage p\n", true},
+		{"go version", "//go:build go1.22\n\npackage p\n", false},
+		{"after package clause", "package p\n\n//go:build ignore\n", false},
+		{"malformed", "//go:build &&\n\npackage p\n", false},
+	}
+	for _, tc := range cases {
+		if got := excludedByBuildConstraint([]byte(tc.src)); got != tc.want {
+			t.Errorf("%s: excludedByBuildConstraint = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

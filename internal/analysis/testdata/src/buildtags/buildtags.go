@@ -1,0 +1,6 @@
+// Package buildtags is a loader fixture: its sibling ignored.go is
+// excluded by a //go:build ignore constraint and would not type-check.
+package buildtags
+
+// Kept is defined in the one file the loader should parse.
+const Kept = 1

@@ -1,0 +1,9 @@
+//go:build ignore
+
+// This generator-style script must be skipped by the loader: it
+// references an undefined symbol and would fail the type check.
+package main
+
+func main() {
+	undefinedSymbol()
+}

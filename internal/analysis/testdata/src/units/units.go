@@ -1,0 +1,32 @@
+// Package units is a spawnvet golden-test fixture for the
+// Cycle/Bytes/ThreadCount dimension rules.
+package units
+
+import "spawnsim/internal/sim/kernel"
+
+const warpsPerCTA = 4
+
+func external() uint64 { return 7 }
+
+func products(lat, overhead kernel.Cycle) kernel.Cycle {
+	total := lat * overhead // unit*unit product: flagged
+	doubled := 2 * overhead // constant scalar operand: clean
+	scaled := lat.Times(3)  // the sanctioned scaling site: clean
+	return total + doubled + scaled
+}
+
+func conversions(lat kernel.Cycle, shmem kernel.Bytes) {
+	_ = kernel.Bytes(lat) // direct cross-unit conversion: flagged
+
+	raw := uint64(lat)
+	_ = kernel.Bytes(raw) // laundered through a plain integer: flagged
+
+	_ = kernel.Cycle(uint64(lat) + 1) // same dimension round-trip: clean
+
+	_ = kernel.Cycle(external()) // call result is a boundary: clean
+
+	_ = kernel.ThreadCount(warpsPerCTA * 32) // constant mint: clean
+
+	//spawnvet:allow units fixture: checkpoint decoder reuses one scratch word
+	_ = kernel.Cycle(uint64(shmem))
+}

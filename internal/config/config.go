@@ -5,28 +5,36 @@
 // by the paper's modified GPGPU-Sim v3.2.2.
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"spawnsim/internal/sim/kernel"
+)
 
 // GPU describes every hardware parameter the simulator consumes.
 // The zero value is not useful; start from K20m() and override fields.
+//
+// Dimensioned fields use the kernel unit types (see DESIGN.md §5):
+// latencies are kernel.Cycle, capacities kernel.Bytes, thread slots
+// kernel.ThreadCount. Pure counts (SMXs, ways, queues) stay int.
 type GPU struct {
 	// Cores.
-	NumSMX          int // streaming multiprocessors
-	WarpSize        int // threads per warp
-	MaxThreadsPerSM int // hardware thread slots per SMX
-	MaxCTAsPerSM    int // concurrent CTA slots per SMX
-	RegistersPerSM  int // register-file entries per SMX (see DESIGN.md note)
-	SharedMemPerSM  int // bytes of shared memory per SMX
-	SchedulersPerSM int // warp schedulers per SMX (dual GTO in Table II)
+	NumSMX          int                // streaming multiprocessors
+	WarpSize        int                // threads per warp (warp geometry divisor)
+	MaxThreadsPerSM kernel.ThreadCount // hardware thread slots per SMX
+	MaxCTAsPerSM    int                // concurrent CTA slots per SMX
+	RegistersPerSM  int                // register-file entries per SMX (see DESIGN.md note)
+	SharedMemPerSM  kernel.Bytes       // shared memory per SMX
+	SchedulersPerSM int                // warp schedulers per SMX (dual GTO in Table II)
 
 	// Kernel management.
-	NumHWQs         int // hardware work queues (max concurrent kernels)
-	MaxPendingCTAs  int // CCQS / pending-pool capacity (65,536 on Kepler)
-	CTADispatchRate int // CTAs the GMU may dispatch per cycle
-	LaunchOverheadA int // per-kernel slope of the launch latency model (cycles)
-	LaunchOverheadB int // base launch latency (cycles)
-	LaunchAPICycles int // cycles the launching warp is busy in the API call
-	SyncCheckCycles int // polling granularity for DeviceSynchronize wake-up
+	NumHWQs         int          // hardware work queues (max concurrent kernels)
+	MaxPendingCTAs  int          // CCQS / pending-pool capacity (65,536 on Kepler)
+	CTADispatchRate int          // CTAs the GMU may dispatch per cycle
+	LaunchOverheadA kernel.Cycle // per-kernel slope of the launch latency model
+	LaunchOverheadB kernel.Cycle // base launch latency
+	LaunchAPICycles kernel.Cycle // cycles the launching warp is busy in the API call
+	SyncCheckCycles kernel.Cycle // polling granularity for DeviceSynchronize wake-up
 	// MaxPendingLaunches bounds a warp's in-flight device launches (the
 	// CUDA device-runtime pending-launch buffer). A warp whose pool is
 	// full stalls until older launches reach the GMU, which is what
@@ -36,25 +44,25 @@ type GPU struct {
 	MaxPendingLaunches int
 
 	// Memory system.
-	CacheLineBytes   int
-	L1Bytes          int // per-SMX L1 data cache
+	CacheLineBytes   kernel.Bytes
+	L1Bytes          kernel.Bytes // per-SMX L1 data cache
 	L1Ways           int
-	L1HitLatency     int
-	L2PartitionBytes int // per-partition L2 slice
-	L2Partitions     int // total slices (MemControllers * PartitionsPerMC)
+	L1HitLatency     kernel.Cycle
+	L2PartitionBytes kernel.Bytes // per-partition L2 slice
+	L2Partitions     int          // total slices (MemControllers * PartitionsPerMC)
 	L2Ways           int
-	L2HitLatency     int
+	L2HitLatency     kernel.Cycle
 	MemControllers   int
 	PartitionsPerMC  int
 	BanksPerMC       int
-	RowBytes         int // DRAM row-buffer size
-	DRAMRowHitLat    int // additional cycles for a row-buffer hit
-	DRAMRowMissLat   int // additional cycles for a row-buffer miss
-	DRAMCyclesPerReq int // per-request occupancy of a bank (service rate)
-	InterconnectLat  int // one-way crossbar latency (cycles)
+	RowBytes         kernel.Bytes // DRAM row-buffer size
+	DRAMRowHitLat    kernel.Cycle // additional cycles for a row-buffer hit
+	DRAMRowMissLat   kernel.Cycle // additional cycles for a row-buffer miss
+	DRAMCyclesPerReq kernel.Cycle // per-request occupancy of a bank (service rate)
+	InterconnectLat  kernel.Cycle // one-way crossbar latency
 
 	// SPAWN controller (Section IV-B).
-	SpawnWindow uint // metric-averaging window in cycles (power of two)
+	SpawnWindow kernel.Cycle // metric-averaging window in cycles (power of two)
 }
 
 // K20m returns the Table II configuration.
@@ -99,22 +107,22 @@ func K20m() GPU {
 }
 
 // MaxWarpsPerSM is the hardware warp-slot count per SMX.
-func (g GPU) MaxWarpsPerSM() int { return g.MaxThreadsPerSM / g.WarpSize }
+func (g GPU) MaxWarpsPerSM() int { return int(g.MaxThreadsPerSM) / g.WarpSize }
 
 // MaxConcurrentCTAs is the system-wide CTA concurrency limit.
 func (g GPU) MaxConcurrentCTAs() int { return g.NumSMX * g.MaxCTAsPerSM }
 
 // L2TotalBytes is the aggregate L2 capacity across partitions.
-func (g GPU) L2TotalBytes() int { return g.L2PartitionBytes * g.L2Partitions }
+func (g GPU) L2TotalBytes() kernel.Bytes { return g.L2PartitionBytes.Times(g.L2Partitions) }
 
 // LaunchLatency returns the cycles until the x-th concurrently pending
 // child-kernel launch from one warp becomes visible in the GMU pending
 // pool: latency = A*x + b (Table II, after Wang et al.). x counts from 1.
-func (g GPU) LaunchLatency(x int) int {
+func (g GPU) LaunchLatency(x int) kernel.Cycle {
 	if x < 1 {
 		x = 1
 	}
-	return g.LaunchOverheadA*x + g.LaunchOverheadB
+	return g.LaunchOverheadA.Times(x) + g.LaunchOverheadB
 }
 
 // Validate reports the first configuration inconsistency found.
@@ -124,7 +132,7 @@ func (g GPU) Validate() error {
 		return fmt.Errorf("config: NumSMX must be positive, got %d", g.NumSMX)
 	case g.WarpSize <= 0:
 		return fmt.Errorf("config: WarpSize must be positive, got %d", g.WarpSize)
-	case g.MaxThreadsPerSM%g.WarpSize != 0:
+	case g.MaxThreadsPerSM%kernel.ThreadCount(g.WarpSize) != 0:
 		return fmt.Errorf("config: MaxThreadsPerSM (%d) must be a multiple of WarpSize (%d)",
 			g.MaxThreadsPerSM, g.WarpSize)
 	case g.MaxCTAsPerSM <= 0:
@@ -154,10 +162,10 @@ func (g GPU) Validate() error {
 			g.LaunchOverheadA, g.LaunchOverheadB)
 	case g.MaxPendingLaunches < 0:
 		return fmt.Errorf("config: MaxPendingLaunches must be non-negative, got %d", g.MaxPendingLaunches)
-	case g.L1Bytes%(g.CacheLineBytes*g.L1Ways) != 0:
+	case g.L1Bytes%g.CacheLineBytes.Times(g.L1Ways) != 0:
 		return fmt.Errorf("config: L1 size %dB not divisible into %d-way sets of %dB lines",
 			g.L1Bytes, g.L1Ways, g.CacheLineBytes)
-	case g.L2PartitionBytes%(g.CacheLineBytes*g.L2Ways) != 0:
+	case g.L2PartitionBytes%g.CacheLineBytes.Times(g.L2Ways) != 0:
 		return fmt.Errorf("config: L2 partition size %dB not divisible into %d-way sets of %dB lines",
 			g.L2PartitionBytes, g.L2Ways, g.CacheLineBytes)
 	case g.L2Partitions != g.MemControllers*g.PartitionsPerMC:

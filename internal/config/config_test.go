@@ -3,6 +3,8 @@ package config
 import (
 	"strings"
 	"testing"
+
+	"spawnsim/internal/sim/kernel"
 )
 
 func TestK20mValid(t *testing.T) {
@@ -19,14 +21,17 @@ func TestK20mDerived(t *testing.T) {
 	if got, want := g.MaxConcurrentCTAs(), 208; got != want {
 		t.Errorf("MaxConcurrentCTAs = %d, want %d", got, want)
 	}
-	if got, want := g.L2TotalBytes(), 1536*1024; got != want {
+	if got, want := g.L2TotalBytes(), kernel.Bytes(1536*1024); got != want {
 		t.Errorf("L2TotalBytes = %d, want %d", got, want)
 	}
 }
 
 func TestLaunchLatency(t *testing.T) {
 	g := K20m()
-	tests := []struct{ x, want int }{
+	tests := []struct {
+		x    int
+		want kernel.Cycle
+	}{
 		{1, 1721 + 20210},
 		{2, 2*1721 + 20210},
 		{10, 10*1721 + 20210},

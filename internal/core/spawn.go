@@ -58,16 +58,16 @@ type Controller struct {
 	twarpCount int64
 
 	ncon     *stats.WindowedMean
-	conLevel uint64 // currently executing child CTAs
-	lastEdge uint64 // cycle of the last concurrency change
+	conLevel uint64       // currently executing child CTAs
+	lastEdge kernel.Cycle // cycle of the last concurrency change
 
 	// firstDefer is the cycle of the first cold-start deferral; past
 	// firstDefer+deferWindow the controller reverts to the paper's
 	// unconditional cold accept so deferred launches cannot livelock
 	// (e.g. nested children waiting on completions that deferral itself
 	// is blocking).
-	firstDefer  uint64
-	deferWindow uint64
+	firstDefer  kernel.Cycle
+	deferWindow kernel.Cycle
 
 	// Decision accounting (introspection and tests).
 	Decisions int
@@ -79,8 +79,8 @@ func New(cfg config.GPU) *Controller {
 	return &Controller{
 		maxQueue:    cfg.MaxPendingCTAs,
 		coldCap:     int64(cfg.MaxConcurrentCTAs() + cfg.MaxConcurrentCTAs()/4),
-		deferWindow: 2 * uint64(cfg.LaunchOverheadB),
-		ncon:        stats.NewWindowedMean(cfg.SpawnWindow),
+		deferWindow: 2 * cfg.LaunchOverheadB,
+		ncon:        stats.NewWindowedMean(uint(cfg.SpawnWindow)),
 	}
 }
 
@@ -168,25 +168,26 @@ func (c *Controller) decline() kernel.Decision {
 
 // integrateTo folds the concurrency level held since lastEdge into the
 // windowed n_con average.
-func (c *Controller) integrateTo(now uint64) {
+func (c *Controller) integrateTo(now kernel.Cycle) {
 	if now > c.lastEdge {
-		c.ncon.ObserveSpan(c.lastEdge, now-c.lastEdge, c.conLevel)
+		// The windowed accumulator is a raw-integer boundary.
+		c.ncon.ObserveSpan(uint64(c.lastEdge), uint64(now-c.lastEdge), c.conLevel)
 		c.lastEdge = now
 	}
 }
 
 // OnChildQueued implements kernel.Policy. CCQS population was already
 // accounted at decision time (Algorithm 1 line 8).
-func (c *Controller) OnChildQueued(uint64, int) {}
+func (c *Controller) OnChildQueued(kernel.Cycle, int) {}
 
 // OnChildCTAStart implements kernel.Policy.
-func (c *Controller) OnChildCTAStart(now uint64) {
+func (c *Controller) OnChildCTAStart(now kernel.Cycle) {
 	c.integrateTo(now)
 	c.conLevel++
 }
 
 // OnChildCTAFinish implements kernel.Policy.
-func (c *Controller) OnChildCTAFinish(now, start uint64, warps int) {
+func (c *Controller) OnChildCTAFinish(now, start kernel.Cycle, warps int) {
 	c.integrateTo(now)
 	if c.conLevel > 0 {
 		c.conLevel--
@@ -202,7 +203,7 @@ func (c *Controller) OnChildCTAFinish(now, start uint64, warps int) {
 }
 
 // OnChildWarpFinish implements kernel.Policy.
-func (c *Controller) OnChildWarpFinish(now, start uint64) {
+func (c *Controller) OnChildWarpFinish(now, start kernel.Cycle) {
 	c.twarpSum += float64(now - start)
 	c.twarpCount++
 }

@@ -11,7 +11,7 @@ func prog(cta, warp int) kernel.Program {
 	return kernel.ProgramFunc(func(x *kernel.Exec, in *kernel.Instr) bool { return false })
 }
 
-func site(workload, ctas int, overhead uint64) *kernel.LaunchSite {
+func site(workload, ctas int, overhead kernel.Cycle) *kernel.LaunchSite {
 	return &kernel.LaunchSite{
 		Candidate: &kernel.LaunchCandidate{
 			Workload: workload,
@@ -36,8 +36,8 @@ func TestColdStartAlwaysLaunches(t *testing.T) {
 
 // feed simulates `count` child CTAs running for `exec` cycles each, one
 // after another, with warps of the same duration, to warm the metrics.
-func feed(c *Controller, count int, exec uint64) {
-	now := uint64(0)
+func feed(c *Controller, count int, exec kernel.Cycle) {
+	now := kernel.Cycle(0)
 	for i := 0; i < count; i++ {
 		c.OnChildCTAStart(now)
 		c.OnChildWarpFinish(now+exec, now)
@@ -189,7 +189,7 @@ func TestColdStartDefersBeyondCap(t *testing.T) {
 		t.Errorf("decision at 5000 = %v, want defer", dec.Action)
 	}
 	// Past the window without any completion: progress fallback accepts.
-	s.Now = 1000 + 2*uint64(cfg.LaunchOverheadB) + 1
+	s.Now = 1000 + 2*cfg.LaunchOverheadB + 1
 	if dec := c.Decide(s); dec.Action != kernel.LaunchKernel {
 		t.Errorf("post-window decision = %v, want launch (progress guarantee)", dec.Action)
 	}

@@ -101,27 +101,41 @@ func Mild(seed uint64) Plan {
 	}
 }
 
+// Prob returns the plan's injection probability for one fault kind.
+// The switch is deliberately default-free: adding a Kind without wiring
+// its rate here is caught by the spawnvet exhaustive analyzer, so a new
+// fault class cannot slip past Validate/Zero unchecked.
+func (p Plan) Prob(k Kind) float64 {
+	switch k {
+	case LaunchDelay:
+		return p.LaunchDelayProb
+	case HWQStall:
+		return p.HWQStallProb
+	case SMXOffline:
+		return p.SMXOfflineProb
+	case DRAMSpike:
+		return p.DRAMSpikeProb
+	}
+	panic(fmt.Sprintf("faults: Prob of unknown kind %d", uint8(k)))
+}
+
 // Zero reports whether the plan injects nothing.
 func (p Plan) Zero() bool {
-	return p.LaunchDelayProb == 0 && p.HWQStallProb == 0 &&
-		p.SMXOfflineProb == 0 && p.DRAMSpikeProb == 0
+	for k := Kind(0); k < numKinds; k++ {
+		if p.Prob(k) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Validate reports the first inconsistency. Window probabilities must
 // stay below 1 so every fault class leaves clear epochs and the machine
 // keeps making forward progress.
 func (p Plan) Validate() error {
-	for _, pr := range []struct {
-		name string
-		v    float64
-	}{
-		{"launch-delay", p.LaunchDelayProb},
-		{"hwq-stall", p.HWQStallProb},
-		{"smx-offline", p.SMXOfflineProb},
-		{"dram-spike", p.DRAMSpikeProb},
-	} {
-		if pr.v < 0 || pr.v >= 1 {
-			return fmt.Errorf("faults: %s probability %v outside [0,1)", pr.name, pr.v)
+	for k := Kind(0); k < numKinds; k++ {
+		if v := p.Prob(k); v < 0 || v >= 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1)", k, v)
 		}
 	}
 	if p.LaunchDelayProb > 0 && p.LaunchDelayMax == 0 {

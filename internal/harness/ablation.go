@@ -5,6 +5,7 @@ import (
 
 	"spawnsim/internal/config"
 	spawn "spawnsim/internal/core"
+	"spawnsim/internal/sim/kernel"
 )
 
 // Ablation measures the sensitivity of SPAWN to the design choices
@@ -49,7 +50,7 @@ func Ablation(benchmark string) (*Table, error) {
 	if err := add("default", base, nil); err != nil {
 		return nil, err
 	}
-	for _, w := range []uint{256, 8192} {
+	for _, w := range []kernel.Cycle{256, 8192} {
 		cfg := base
 		cfg.SpawnWindow = w
 		if err := add(fmt.Sprintf("window-%d", w), cfg, nil); err != nil {

@@ -101,7 +101,7 @@ func runSeries(benchmark, scheme string, interval uint64) (*SeriesSet, error) {
 		Parent:    out.Result.ParentCTASeries.Values,
 		Child:     out.Result.ChildCTASeries.Values,
 		Util:      out.Result.UtilSeries.Values,
-		Cycles:    out.Result.Cycles,
+		Cycles:    uint64(out.Result.Cycles),
 	}, nil
 }
 
@@ -359,10 +359,20 @@ func Fig20() (*Fig20Result, error) {
 	}
 	return &Fig20Result{
 		Interval: interval,
-		Baseline: stats.CDF(b.Result.LaunchCycles, interval, b.Result.Cycles),
-		Offline:  stats.CDF(o.Result.LaunchCycles, interval, o.Result.Cycles),
-		Spawn:    stats.CDF(s.Result.LaunchCycles, interval, s.Result.Cycles),
+		Baseline: stats.CDF(cyclesToU64(b.Result.LaunchCycles), interval, uint64(b.Result.Cycles)),
+		Offline:  stats.CDF(cyclesToU64(o.Result.LaunchCycles), interval, uint64(o.Result.Cycles)),
+		Spawn:    stats.CDF(cyclesToU64(s.Result.LaunchCycles), interval, uint64(s.Result.Cycles)),
 	}, nil
+}
+
+// cyclesToU64 converts typed cycle stamps to the raw-integer form the
+// stats boundary expects.
+func cyclesToU64(cs []kernel.Cycle) []uint64 {
+	out := make([]uint64, len(cs))
+	for i, c := range cs {
+		out[i] = uint64(c)
+	}
+	return out
 }
 
 // Fig21 compares SPAWN against DTBL on the paper's six workloads,

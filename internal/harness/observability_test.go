@@ -17,7 +17,7 @@ func TestSpecMetricsSnapshot(t *testing.T) {
 	if out.Metrics == nil {
 		t.Fatal("no metrics snapshot on outcome")
 	}
-	if out.Metrics.Cycle != out.Result.Cycles {
+	if out.Metrics.Cycle != uint64(out.Result.Cycles) {
 		t.Errorf("snapshot cycle = %d, want %d", out.Metrics.Cycle, out.Result.Cycles)
 	}
 	if m := out.Metrics.Find("sim_cycle"); m == nil || m.Value != float64(out.Result.Cycles) {
@@ -79,7 +79,7 @@ func TestOfflineSearchAttachesObservability(t *testing.T) {
 	}
 	// The snapshot must describe exactly the winning re-run: its cycle
 	// count matches the returned result, and the ring saw events.
-	if out.Metrics.Cycle != out.Result.Cycles {
+	if out.Metrics.Cycle != uint64(out.Result.Cycles) {
 		t.Errorf("snapshot cycle = %d, want winner's %d", out.Metrics.Cycle, out.Result.Cycles)
 	}
 	if sink.Total() == 0 {

@@ -275,13 +275,13 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		Config:          cfg,
 		Policy:          pol,
 		StreamMode:      spec.StreamMode,
-		SampleInterval:  spec.SampleInterval,
-		MaxCycles:       spec.MaxCycles,
+		SampleInterval:  kernel.Cycle(spec.SampleInterval),
+		MaxCycles:       kernel.Cycle(spec.MaxCycles),
 		Trace:           ring,
 		Sinks:           spec.TraceSinks,
 		Metrics:         reg,
 		Heartbeat:       spec.Heartbeat,
-		HeartbeatEvery:  spec.HeartbeatEvery,
+		HeartbeatEvery:  kernel.Cycle(spec.HeartbeatEvery),
 		Faults:          inj,
 		CheckInvariants: spec.CheckInvariants,
 		Context:         spec.Context,
@@ -307,7 +307,7 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		FaultsInjected: inj.TotalInjected(),
 	}
 	if reg != nil {
-		snap := reg.Snapshot(res.Cycles)
+		snap := reg.Snapshot(uint64(res.Cycles))
 		out.Metrics = &snap
 	}
 	if runErr != nil {

@@ -56,7 +56,7 @@ func deterministicRun(t *testing.T) (resultJSON, traceJSONL, metricsJSON []byte)
 	if err != nil {
 		t.Fatalf("marshaling Result: %v", err)
 	}
-	snap := reg.Snapshot(res.Cycles)
+	snap := reg.Snapshot(uint64(res.Cycles))
 	var metricsBuf bytes.Buffer
 	if err := snap.WriteJSON(&metricsBuf); err != nil {
 		t.Fatalf("writing metrics snapshot: %v", err)
@@ -107,7 +107,7 @@ func TestSiteDecisionsSortedAndConsistent(t *testing.T) {
 		declined += sd.Declined
 		deferred += sd.Deferred
 	}
-	snap := reg.Snapshot(res.Cycles)
+	snap := reg.Snapshot(uint64(res.Cycles))
 	var regAccepted, regDeclined, regDeferred float64
 	for _, m := range snap.Metrics {
 		switch m.Name {

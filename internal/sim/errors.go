@@ -54,7 +54,7 @@ func (k AbortKind) String() string {
 // inspect progress, flush sinks, and export traces.
 type AbortError struct {
 	Kind  AbortKind
-	Cycle uint64
+	Cycle kernel.Cycle
 	// LiveKernels is how many kernels were outstanding at the abort.
 	LiveKernels int
 	// Err is the underlying cause when one exists: the context error for

@@ -38,7 +38,7 @@ type GMU struct {
 	// stalled, when non-nil, is consulted at the top of Dispatch: a true
 	// return models transient pending-pool back-pressure and suspends CTA
 	// dispatch for the cycle (the fault injector's HWQ-stall hook).
-	stalled func(now uint64) bool
+	stalled func(now kernel.Cycle) bool
 
 	// QueueLatency accumulates, per kernel, the cycles between pending-
 	// pool arrival and first CTA dispatch (the paper's queuing latency).
@@ -133,7 +133,7 @@ func (g *GMU) headOf(qi int) *kernel.Kernel {
 // (including advancing k.NextCTA). It returns the number of CTAs placed.
 //
 //spawnvet:hotpath
-func (g *GMU) Dispatch(now uint64, place PlaceFunc) int {
+func (g *GMU) Dispatch(now kernel.Cycle, place PlaceFunc) int {
 	if g.stalled != nil && g.stalled(now) {
 		return 0
 	}
@@ -154,7 +154,7 @@ func (g *GMU) Dispatch(now uint64, place PlaceFunc) int {
 			if first {
 				k.FirstDispatch = now
 				g.QueueLatency.Add(float64(now - k.ArrivalCycle))
-				g.mQueueLat.Observe(now - k.ArrivalCycle)
+				g.mQueueLat.Observe(uint64(now - k.ArrivalCycle))
 			}
 			g.pendingCTAs--
 			placed++
@@ -222,14 +222,14 @@ func (g *GMU) KernelCompleted(k *kernel.Kernel) {
 // SetBackpressure installs the transient-stall predicate consulted by
 // Dispatch (nil disables it). The fault injector's HWQ-stall windows
 // enter the GMU through here.
-func (g *GMU) SetBackpressure(stalled func(now uint64) bool) { g.stalled = stalled }
+func (g *GMU) SetBackpressure(stalled func(now kernel.Cycle) bool) { g.stalled = stalled }
 
 // CheckInvariants audits the GMU's accounting at cycle `now`: the
 // pending-CTA counter must equal the undispatched CTAs summed over the
 // queue members, only HWQ heads may have dispatched CTAs, and the
 // resident-kernel counter must cover every kernel still in a queue.
 // It returns a *kernel.InvariantError for the first violation, or nil.
-func (g *GMU) CheckInvariants(now uint64) error {
+func (g *GMU) CheckInvariants(now kernel.Cycle) error {
 	members, remaining := 0, 0
 	for qi, q := range g.hwqs {
 		for pos, k := range q {

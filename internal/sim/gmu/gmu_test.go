@@ -137,7 +137,7 @@ func TestDirectQueueBypassesHWQLimit(t *testing.T) {
 		g.Enqueue(k)
 	}
 	for i := 0; i < cfg.NumHWQs; i++ {
-		g.Dispatch(uint64(i), acceptAll)
+		g.Dispatch(kernel.Cycle(i), acceptAll)
 	}
 	if g.HasDispatchable() {
 		t.Fatal("all HWQ heads should be fully dispatched")

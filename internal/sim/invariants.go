@@ -7,7 +7,7 @@ import "spawnsim/internal/sim/kernel"
 // the GMU's queue bookkeeping. It returns the first violation as a
 // *kernel.InvariantError, or nil. Driven by Options.CheckInvariants
 // every Options.InvariantEvery cycles and once more at completion.
-func (g *GPU) checkInvariants(now uint64) error {
+func (g *GPU) checkInvariants(now kernel.Cycle) error {
 	// Every live kernel is either in launch flight or resident in the
 	// GMU (dispatching, queued, or yielded off-queue until completion).
 	if got := len(g.flight) + g.gmu.QueuedKernels(); got != g.liveKernels {

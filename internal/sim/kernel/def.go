@@ -57,7 +57,7 @@ type Def struct {
 	// RegsPerThread and SharedMemBytes size the per-CTA resource
 	// reservation on an SMX.
 	RegsPerThread  int
-	SharedMemBytes int
+	SharedMemBytes Bytes
 	// NewProgram creates the instruction stream for one warp.
 	// cta is the CTA index within the grid, warp the warp index within
 	// the CTA. The returned Program is owned by that warp.

@@ -15,7 +15,7 @@ import "fmt"
 type InvariantError struct {
 	// Cycle is the simulation cycle the violation was detected at
 	// (0 when the site has no clock in scope).
-	Cycle uint64
+	Cycle Cycle
 	// Component names the violating unit ("smx 3", "gmu", "kernel", ...).
 	Component string
 	// Message describes the broken invariant.
@@ -30,6 +30,6 @@ func (e *InvariantError) Error() string {
 }
 
 // Invariantf builds an *InvariantError with a formatted message.
-func Invariantf(cycle uint64, component, format string, args ...interface{}) *InvariantError {
+func Invariantf(cycle Cycle, component, format string, args ...interface{}) *InvariantError {
 	return &InvariantError{Cycle: cycle, Component: component, Message: fmt.Sprintf(format, args...)}
 }

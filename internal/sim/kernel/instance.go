@@ -49,10 +49,10 @@ type Kernel struct {
 	Workload int
 
 	// Timing (filled by the simulator).
-	LaunchCycle   uint64 // decision/API-call cycle
-	ArrivalCycle  uint64 // entered the pending pool (post launch overhead)
-	FirstDispatch uint64
-	DoneCycle     uint64
+	LaunchCycle   Cycle // decision/API-call cycle
+	ArrivalCycle  Cycle // entered the pending pool (post launch overhead)
+	FirstDispatch Cycle
+	DoneCycle     Cycle
 
 	// Progress.
 	NextCTA  int // next CTA index to dispatch
@@ -94,7 +94,7 @@ type CTA struct {
 
 	Warps []*Warp
 
-	StartCycle uint64 // first cycle on the SMX
+	StartCycle Cycle // first cycle on the SMX
 
 	// runningWarps counts warps not yet Done/AtSync.
 	runningWarps int
@@ -107,7 +107,9 @@ type CTA struct {
 	ChildStream StreamID
 
 	// Resource reservation held while CTARunning.
-	Regs, SharedMem, Threads int
+	Regs      int
+	SharedMem Bytes
+	Threads   ThreadCount
 }
 
 // RunningWarps returns the count of warps still executing instructions.
@@ -128,9 +130,10 @@ type Warp struct {
 
 	// ReadyAt is the earliest cycle the warp may issue its next
 	// instruction.
-	ReadyAt uint64
+	ReadyAt Cycle
 	// Age orders warps for the Greedy-Then-Oldest scheduler
-	// (smaller = older).
+	// (smaller = older). It is an ordinal, not a timestamp, so it is
+	// deliberately not a Cycle.
 	Age uint64
 
 	// PendingLaunches counts child launches from this warp that have not
@@ -138,7 +141,7 @@ type Warp struct {
 	PendingLaunches int
 	// LaunchPipeFree is when this warp's serialized launch pipeline can
 	// accept the next launch.
-	LaunchPipeFree uint64
+	LaunchPipeFree Cycle
 
 	// In-progress launch instruction: when the warp's pending-launch
 	// pool fills mid-instruction, the remaining candidates stall and are
@@ -164,7 +167,7 @@ func NewCTA(k *Kernel, index, warpSize int) *CTA {
 		SMX:       -1,
 		Regs:      d.RegsPerThread * d.CTAThreads,
 		SharedMem: d.SharedMemBytes,
-		Threads:   d.CTAThreads,
+		Threads:   ThreadCount(d.CTAThreads),
 	}
 	// Live threads of this CTA (the grid's tail CTA may be partial).
 	live := d.TotalThreads() - index*d.CTAThreads

@@ -42,13 +42,13 @@ func (a Action) String() string {
 // cycles the calling warp is kept busy by the API call.
 type Decision struct {
 	Action    Action
-	APICycles int
+	APICycles Cycle
 }
 
 // LaunchSite carries everything a policy may consult when deciding one
 // candidate. It is assembled by the engine at the launch instruction.
 type LaunchSite struct {
-	Now uint64
+	Now Cycle
 	// Candidate is the lane's proposal.
 	Candidate *LaunchCandidate
 	// ParentIsChild reports whether the launching warp itself belongs to
@@ -60,7 +60,7 @@ type LaunchSite struct {
 	PendingWarpLaunches int
 	// EstimatedOverhead is the launch latency this candidate would pay,
 	// per the Table II model, if launched now.
-	EstimatedOverhead uint64
+	EstimatedOverhead Cycle
 }
 
 // Policy decides, at every device-side launch site, whether to spawn the
@@ -76,15 +76,15 @@ type Policy interface {
 	Decide(site *LaunchSite) Decision
 	// OnChildQueued fires when a child kernel (ctas CTAs) becomes
 	// visible in the pending pool after its launch overhead elapsed.
-	OnChildQueued(now uint64, ctas int)
+	OnChildQueued(now Cycle, ctas int)
 	// OnChildCTAStart fires when a child CTA begins executing on an SMX.
-	OnChildCTAStart(now uint64)
+	OnChildCTAStart(now Cycle)
 	// OnChildCTAFinish fires when a child CTA completes; start is the
 	// cycle it began executing, warps its warp count.
-	OnChildCTAFinish(now, start uint64, warps int)
+	OnChildCTAFinish(now, start Cycle, warps int)
 	// OnChildWarpFinish fires when a child warp completes; start is the
 	// cycle its CTA began executing.
-	OnChildWarpFinish(now, start uint64)
+	OnChildWarpFinish(now, start Cycle)
 }
 
 // BasePolicy provides no-op hook implementations for policies that do not
@@ -92,13 +92,13 @@ type Policy interface {
 type BasePolicy struct{}
 
 // OnChildQueued implements Policy.
-func (BasePolicy) OnChildQueued(uint64, int) {}
+func (BasePolicy) OnChildQueued(Cycle, int) {}
 
 // OnChildCTAStart implements Policy.
-func (BasePolicy) OnChildCTAStart(uint64) {}
+func (BasePolicy) OnChildCTAStart(Cycle) {}
 
 // OnChildCTAFinish implements Policy.
-func (BasePolicy) OnChildCTAFinish(uint64, uint64, int) {}
+func (BasePolicy) OnChildCTAFinish(Cycle, Cycle, int) {}
 
 // OnChildWarpFinish implements Policy.
-func (BasePolicy) OnChildWarpFinish(uint64, uint64) {}
+func (BasePolicy) OnChildWarpFinish(Cycle, Cycle) {}

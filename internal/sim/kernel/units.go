@@ -1,0 +1,45 @@
+package kernel
+
+// This file defines the simulator's dimensional vocabulary. Every
+// quantity on the launch-latency and memory paths is one of these named
+// types, so the compiler (and the spawnvet `units` analyzer) rejects
+// cycle/byte/thread mix-ups that would silently corrupt the Table II
+// latency model. The contract (see DESIGN.md §5):
+//
+//   - Cycle       — timestamps and durations in GPU core cycles.
+//   - Bytes       — memory capacities and reservations.
+//   - ThreadCount — hardware thread (lane) slots.
+//
+// Ordinals are deliberately NOT dimensioned: warp ages, row indices,
+// cache-line numbers, and byte addresses stay raw uint64 — they order or
+// name things, they are not amounts of time or storage.
+//
+// Conversion rules:
+//
+//   - Dimensionless scalars (counts, ratios) scale a dimensioned value
+//     through Times, never by converting the scalar into the unit type
+//     at a call site (the `units` analyzer flags unit*unit products
+//     outside this package).
+//   - Serialization boundaries (trace events, faults hooks, stats
+//     accumulators) take raw integers; convert with uint64(c) on the way
+//     out and Cycle(v) on the way in, at the boundary only.
+
+// Cycle is a simulation timestamp or duration in GPU core cycles.
+type Cycle uint64
+
+// Times scales a duration by a dimensionless count (e.g. the per-launch
+// slope of the Table II model times the number of pending launches).
+func (c Cycle) Times(n int) Cycle {
+	return c * Cycle(n) //spawnvet:allow units Times is the one sanctioned scalar-scaling site.
+}
+
+// Bytes is a memory capacity or reservation in bytes.
+type Bytes int
+
+// Times scales a capacity by a dimensionless count (ways, sets, lines).
+func (b Bytes) Times(n int) Bytes {
+	return b * Bytes(n) //spawnvet:allow units Times is the one sanctioned scalar-scaling site.
+}
+
+// ThreadCount counts hardware thread (lane) slots.
+type ThreadCount int

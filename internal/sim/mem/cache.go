@@ -9,6 +9,8 @@
 // See DESIGN.md §4 for the rationale.
 package mem
 
+import "spawnsim/internal/sim/kernel"
+
 // Cache is a set-associative cache tag array with LRU replacement.
 // It tracks lines only (no data) and is addressed by line number.
 type Cache struct {
@@ -27,8 +29,8 @@ type Cache struct {
 
 // NewCache builds a cache of `bytes` capacity with `ways` associativity
 // over lines of `lineBytes`.
-func NewCache(bytes, ways, lineBytes int) *Cache {
-	lines := bytes / lineBytes
+func NewCache(bytes kernel.Bytes, ways int, lineBytes kernel.Bytes) *Cache {
+	lines := int(bytes / lineBytes) // dimensionless line count
 	sets := lines / ways
 	if sets < 1 {
 		sets = 1

@@ -5,6 +5,7 @@ import (
 
 	"spawnsim/internal/config"
 	"spawnsim/internal/metrics"
+	"spawnsim/internal/sim/kernel"
 )
 
 // bank models one DRAM bank: an open row and a next-free time that
@@ -12,9 +13,9 @@ import (
 // in arrival order, but a request hitting the open row pays the cheaper
 // row-hit latency, which is the first-order bandwidth effect of FR-FCFS).
 type bank struct {
-	openRow  uint64
+	openRow  uint64 // row ordinal, not a time
 	hasRow   bool
-	nextFree uint64
+	nextFree kernel.Cycle
 }
 
 // Hierarchy is the full memory system shared by all SMXs.
@@ -24,9 +25,9 @@ type Hierarchy struct {
 	l1 []*Cache // one per SMX
 	l2 []*Cache // one per partition
 
-	l1Port []uint64 // per-SMX L1 next-free time (1 transaction/cycle)
-	l2Port []uint64 // per-partition L2 next-free time
-	banks  []bank   // MemControllers * BanksPerMC
+	l1Port []kernel.Cycle // per-SMX L1 next-free time (1 transaction/cycle)
+	l2Port []kernel.Cycle // per-partition L2 next-free time
+	banks  []bank         // MemControllers * BanksPerMC
 
 	linesPerRow uint64
 	lineShift   uint
@@ -34,7 +35,7 @@ type Hierarchy struct {
 	// dramPenalty, when non-nil, returns extra cycles for a DRAM access
 	// serviced at the given cycle (the fault injector's latency-spike
 	// hook).
-	dramPenalty func(now uint64) uint64
+	dramPenalty func(now kernel.Cycle) kernel.Cycle
 
 	// Statistics.
 	DRAMAccesses uint64
@@ -49,8 +50,8 @@ func NewHierarchy(cfg config.GPU) *Hierarchy {
 		cfg:         cfg,
 		l1:          make([]*Cache, cfg.NumSMX),
 		l2:          make([]*Cache, cfg.L2Partitions),
-		l1Port:      make([]uint64, cfg.NumSMX),
-		l2Port:      make([]uint64, cfg.L2Partitions),
+		l1Port:      make([]kernel.Cycle, cfg.NumSMX),
+		l2Port:      make([]kernel.Cycle, cfg.L2Partitions),
 		banks:       make([]bank, cfg.MemControllers*cfg.BanksPerMC),
 		linesPerRow: uint64(cfg.RowBytes / cfg.CacheLineBytes),
 	}
@@ -120,7 +121,7 @@ func (h *Hierarchy) rowOf(line uint64) uint64 {
 
 // lineTransaction times one coalesced line access from SMX `smx` issued
 // at `now`, returning the completion cycle.
-func (h *Hierarchy) lineTransaction(now uint64, smx int, line uint64) uint64 {
+func (h *Hierarchy) lineTransaction(now kernel.Cycle, smx int, line uint64) kernel.Cycle {
 	cfg := &h.cfg
 	h.Transactions++
 
@@ -132,49 +133,51 @@ func (h *Hierarchy) lineTransaction(now uint64, smx int, line uint64) uint64 {
 	h.l1Port[smx] = start + 1
 
 	if h.l1[smx].Access(line) {
-		return start + uint64(cfg.L1HitLatency)
+		return start + cfg.L1HitLatency
 	}
 
 	// Traverse the crossbar to the L2 partition.
 	p := h.partitionOf(line)
-	atL2 := start + uint64(cfg.L1HitLatency) + uint64(cfg.InterconnectLat)
+	atL2 := start + cfg.L1HitLatency + cfg.InterconnectLat
 	if h.l2Port[p] > atL2 {
 		atL2 = h.l2Port[p]
 	}
 	h.l2Port[p] = atL2 + 1
 
 	if h.l2[p].Access(line) {
-		return atL2 + uint64(cfg.L2HitLatency) + uint64(cfg.InterconnectLat)
+		return atL2 + cfg.L2HitLatency + cfg.InterconnectLat
 	}
 
 	// DRAM.
 	h.DRAMAccesses++
 	b := &h.banks[h.bankOf(line)]
 	row := h.rowOf(line)
-	atBank := atL2 + uint64(cfg.L2HitLatency)
+	atBank := atL2 + cfg.L2HitLatency
 	if b.nextFree > atBank {
 		atBank = b.nextFree
 	}
-	var dramLat uint64
+	var dramLat kernel.Cycle
 	if b.hasRow && b.openRow == row {
 		h.DRAMRowHits++
-		dramLat = uint64(cfg.DRAMRowHitLat)
+		dramLat = cfg.DRAMRowHitLat
 	} else {
-		dramLat = uint64(cfg.DRAMRowMissLat)
+		dramLat = cfg.DRAMRowMissLat
 		b.openRow = row
 		b.hasRow = true
 	}
 	if h.dramPenalty != nil {
 		dramLat += h.dramPenalty(atBank)
 	}
-	b.nextFree = atBank + uint64(cfg.DRAMCyclesPerReq)
-	return atBank + dramLat + uint64(cfg.InterconnectLat)
+	b.nextFree = atBank + cfg.DRAMCyclesPerReq
+	return atBank + dramLat + cfg.InterconnectLat
 }
 
 // SetDRAMPenalty installs the per-access extra-latency hook consulted on
 // the DRAM path (nil disables it). The fault injector's DRAM spike
 // windows enter the hierarchy through here.
-func (h *Hierarchy) SetDRAMPenalty(penalty func(now uint64) uint64) { h.dramPenalty = penalty }
+func (h *Hierarchy) SetDRAMPenalty(penalty func(now kernel.Cycle) kernel.Cycle) {
+	h.dramPenalty = penalty
+}
 
 // Access times one warp memory instruction: the per-lane byte addresses
 // are coalesced into unique cache-line transactions; the warp's
@@ -182,7 +185,7 @@ func (h *Hierarchy) SetDRAMPenalty(penalty func(now uint64) uint64) { h.dramPena
 // like loads (write-allocate).
 //
 //spawnvet:hotpath
-func (h *Hierarchy) Access(now uint64, smx int, addrs []uint64) uint64 {
+func (h *Hierarchy) Access(now kernel.Cycle, smx int, addrs []uint64) kernel.Cycle {
 	h.WarpAccesses++
 	lineShift := h.lineShift
 	done := now

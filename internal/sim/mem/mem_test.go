@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"spawnsim/internal/config"
+	"spawnsim/internal/sim/kernel"
 )
 
 func TestCacheHitAfterFill(t *testing.T) {
@@ -70,12 +71,12 @@ func TestHierarchyL1Hit(t *testing.T) {
 	cfg := testCfg()
 	// First access: full miss to DRAM.
 	t1 := h.Access(0, 0, []uint64{0x1000})
-	if t1 <= uint64(cfg.L2HitLatency) {
+	if t1 <= cfg.L2HitLatency {
 		t.Errorf("cold miss completed too fast: %d", t1)
 	}
 	// Second access to the same line: L1 hit.
 	t2 := h.Access(1000, 0, []uint64{0x1000})
-	want := uint64(1000 + cfg.L1HitLatency)
+	want := 1000 + cfg.L1HitLatency
 	if t2 != want {
 		t.Errorf("L1 hit completion = %d, want %d", t2, want)
 	}
@@ -120,7 +121,7 @@ func TestHierarchyDRAMRowLocality(t *testing.T) {
 	h := NewHierarchy(cfg)
 	// Two consecutive same-bank lines map to the same row
 	// (banks interleave at partition*bank granularity).
-	stride := uint64(cfg.L2Partitions * cfg.BanksPerMC * cfg.CacheLineBytes)
+	stride := uint64(cfg.L2Partitions*cfg.BanksPerMC) * uint64(cfg.CacheLineBytes)
 	h.Access(0, 0, []uint64{0})
 	h.Access(100000, 0, []uint64{stride})
 	if h.DRAMAccesses != 2 {
@@ -157,7 +158,7 @@ func TestHierarchyMonotoneCompletion(t *testing.T) {
 		for _, a := range addrRaw {
 			addrs = append(addrs, uint64(a))
 		}
-		now := uint64(1000)
+		now := kernel.Cycle(1000)
 		done := h.Access(now, smx, addrs)
 		return done > now
 	}

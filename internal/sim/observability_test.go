@@ -53,7 +53,7 @@ func TestMetricsInstrumentation(t *testing.T) {
 	res := run(t, spawn.New(cfg), dpParent(256, 4, 40, 4),
 		func(o *Options) { o.Metrics = reg })
 
-	snap := reg.Snapshot(res.Cycles)
+	snap := reg.Snapshot(uint64(res.Cycles))
 
 	var placed, released float64
 	perSMX := 0

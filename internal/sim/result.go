@@ -3,6 +3,7 @@ package sim
 import (
 	"sort"
 
+	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/stats"
 )
 
@@ -18,7 +19,7 @@ type SiteDecision struct {
 // Result carries the metrics of one completed simulation.
 type Result struct {
 	// Cycles is the total execution time of the run.
-	Cycles uint64
+	Cycles kernel.Cycle
 
 	// Occupancy is average active warps per cycle divided by the warp
 	// slots across all SMXs (the Figure 16 metric).
@@ -56,7 +57,7 @@ type Result struct {
 
 	// LaunchCycles are the decision cycles of accepted device launches
 	// (Figure 20's CDF input).
-	LaunchCycles []uint64
+	LaunchCycles []kernel.Cycle
 
 	// Time series (non-nil only when Options.SampleInterval > 0).
 	ParentCTASeries *stats.LevelSeries
@@ -84,7 +85,7 @@ func (g *GPU) result() *Result {
 	}
 	r := &Result{
 		Cycles:                  end,
-		Occupancy:               g.activeWarps.Average(end) / totalWarpSlots,
+		Occupancy:               g.activeWarps.Average(uint64(end)) / totalWarpSlots,
 		L1HitRate:               g.mem.L1HitRate(),
 		L2HitRate:               g.mem.L2HitRate(),
 		ChildKernels:            g.childKernels,
@@ -92,17 +93,17 @@ func (g *GPU) result() *Result {
 		LaunchOffers:            g.launchOffers,
 		OffloadedFraction:       offload,
 		QueueLatency:            g.gmu.QueueLatency.Value(),
-		AvgConcurrentParentCTAs: g.parentCTAs.Average(end),
-		AvgConcurrentChildCTAs:  g.childCTAs.Average(end),
+		AvgConcurrentParentCTAs: g.parentCTAs.Average(uint64(end)),
+		AvgConcurrentChildCTAs:  g.childCTAs.Average(uint64(end)),
 		ChildCTAExec:            &g.childCTAExec,
 		LaunchCycles:            g.launchCycles,
 		DRAMAccesses:            g.mem.DRAMAccesses,
 		Transactions:            g.mem.Transactions,
 	}
 	if g.parentSeries != nil {
-		g.parentSeries.Finish(end)
-		g.childSeries.Finish(end)
-		g.utilSeries.Finish(end)
+		g.parentSeries.Finish(uint64(end))
+		g.childSeries.Finish(uint64(end))
+		g.utilSeries.Finish(uint64(end))
 		r.ParentCTASeries = g.parentSeries
 		r.ChildCTASeries = g.childSeries
 		r.UtilSeries = g.utilSeries

@@ -151,7 +151,7 @@ func TestHeartbeatAndMetricsSurviveAbort(t *testing.T) {
 	if beats == 0 {
 		t.Error("heartbeat never fired before the abort")
 	}
-	snap := reg.Snapshot(res.Cycles)
+	snap := reg.Snapshot(uint64(res.Cycles))
 	if len(snap.Metrics) == 0 {
 		t.Error("no metrics snapshot after abort")
 	}

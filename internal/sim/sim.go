@@ -32,13 +32,13 @@ type Options struct {
 	StreamMode kernel.StreamMode
 	// SampleInterval, when non-zero, enables the time-series used by
 	// Figures 6, 19 and 20 (one sample per SampleInterval cycles).
-	SampleInterval uint64
+	SampleInterval kernel.Cycle
 	// MaxCycles aborts the run when exceeded (0 = DefaultMaxCycles).
-	MaxCycles uint64
+	MaxCycles kernel.Cycle
 	// DTBLLaunchCycles is the latency for a DTBL CTA-group launch
 	// (0 = default 150 cycles; DTBL's point is that it is tiny compared
 	// to the kernel launch overhead).
-	DTBLLaunchCycles uint64
+	DTBLLaunchCycles kernel.Cycle
 	// Trace, when non-nil, records kernel/CTA lifecycle and launch
 	// decision events into the bounded ring (see internal/trace).
 	Trace *trace.Ring
@@ -55,7 +55,7 @@ type Options struct {
 	Heartbeat func(Progress)
 	// HeartbeatEvery is the heartbeat period in simulated cycles
 	// (0 = default 5,000,000 when Heartbeat is set).
-	HeartbeatEvery uint64
+	HeartbeatEvery kernel.Cycle
 	// Faults, when non-nil, injects the deterministic timing
 	// perturbations its plan describes: launch transit delays, HWQ
 	// back-pressure windows, SMX offline intervals, DRAM latency spikes
@@ -68,7 +68,7 @@ type Options struct {
 	CheckInvariants bool
 	// InvariantEvery is the audit period in simulated cycles
 	// (0 = default 65,536 when CheckInvariants is set).
-	InvariantEvery uint64
+	InvariantEvery kernel.Cycle
 	// Context, when non-nil, cancels the run: Run returns an AbortError
 	// (kind canceled or deadline) with a partial Result once it observes
 	// the cancellation. Checked every few thousand loop iterations, so
@@ -82,7 +82,7 @@ type Options struct {
 
 // Progress is one heartbeat sample of a running simulation.
 type Progress struct {
-	Cycle         uint64
+	Cycle         kernel.Cycle
 	LiveKernels   int
 	QueuedKernels int
 	PendingCTAs   int
@@ -94,7 +94,7 @@ type Progress struct {
 
 // flightItem is a kernel in launch transit toward the pending pool.
 type flightItem struct {
-	at   uint64
+	at   kernel.Cycle
 	k    *kernel.Kernel
 	warp *kernel.Warp // launching warp (nil for host launches)
 }
@@ -164,8 +164,8 @@ type GPU struct {
 	gmu  *gmu.GMU
 	smxs []*smx.SMX
 
-	clock     uint64
-	ageSeq    uint64
+	clock     kernel.Cycle
+	ageSeq    uint64 // warp-age ordinal source, not a time
 	kernelSeq int
 	streamSeq uint32
 	rrSMX     int
@@ -173,15 +173,15 @@ type GPU struct {
 	flight      flightHeap
 	liveKernels int
 
-	maxCycles uint64
-	dtblLat   uint64
+	maxCycles kernel.Cycle
+	dtblLat   kernel.Cycle
 	sinks     []trace.Sink
 
 	inj *faults.Injector
 
 	checkInv bool
-	invEvery uint64
-	invNext  uint64
+	invEvery kernel.Cycle
+	invNext  kernel.Cycle
 
 	ctx      context.Context
 	deadline time.Duration
@@ -194,11 +194,11 @@ type GPU struct {
 
 	// Heartbeat state.
 	hb          func(Progress)
-	hbEvery     uint64
-	hbNext      uint64
+	hbEvery     kernel.Cycle
+	hbNext      kernel.Cycle
 	hbStart     time.Time
 	hbLastWall  time.Time
-	hbLastCycle uint64
+	hbLastCycle kernel.Cycle
 
 	instr kernel.Instr
 
@@ -207,7 +207,7 @@ type GPU struct {
 	parentCTAs  stats.TimeWeighted
 	childCTAs   stats.TimeWeighted
 
-	launchCycles  []uint64 // accepted device-launch decision cycles
+	launchCycles  []kernel.Cycle // accepted device-launch decision cycles
 	childKernels  int
 	dtblGroups    int
 	launchOffers  int
@@ -217,7 +217,7 @@ type GPU struct {
 	childCTAExec stats.Histogram
 	childQueued  int
 
-	sampleInterval uint64
+	sampleInterval kernel.Cycle
 	parentSeries   *stats.LevelSeries
 	childSeries    *stats.LevelSeries
 	utilSeries     *stats.LevelSeries
@@ -284,8 +284,12 @@ func NewChecked(opts Options) (*GPU, error) {
 	}
 	if opts.Faults != nil {
 		g.inj = opts.Faults
-		g.gmu.SetBackpressure(g.inj.DispatchStalled)
-		g.mem.SetDRAMPenalty(g.inj.DRAMPenalty)
+		// The injector is a raw-integer boundary: adapt its uint64 hooks
+		// to the engine's typed clock.
+		g.gmu.SetBackpressure(func(now kernel.Cycle) bool { return g.inj.DispatchStalled(uint64(now)) })
+		g.mem.SetDRAMPenalty(func(now kernel.Cycle) kernel.Cycle {
+			return kernel.Cycle(g.inj.DRAMPenalty(uint64(now)))
+		})
 		prev := g.inj.OnEvent
 		g.inj.OnEvent = func(e faults.Event) {
 			if prev != nil {
@@ -296,9 +300,9 @@ func NewChecked(opts Options) (*GPU, error) {
 	}
 	if opts.SampleInterval > 0 {
 		g.sampleInterval = opts.SampleInterval
-		g.parentSeries = stats.NewLevelSeries(opts.SampleInterval)
-		g.childSeries = stats.NewLevelSeries(opts.SampleInterval)
-		g.utilSeries = stats.NewLevelSeries(opts.SampleInterval)
+		g.parentSeries = stats.NewLevelSeries(uint64(opts.SampleInterval))
+		g.childSeries = stats.NewLevelSeries(uint64(opts.SampleInterval))
+		g.utilSeries = stats.NewLevelSeries(uint64(opts.SampleInterval))
 	}
 	if opts.Metrics != nil {
 		g.instrument(opts.Metrics)
@@ -385,7 +389,7 @@ func (g *GPU) emit(e trace.Event) {
 }
 
 // Clock returns the current simulation cycle.
-func (g *GPU) Clock() uint64 { return g.clock }
+func (g *GPU) Clock() kernel.Cycle { return g.clock }
 
 // newStream issues a fresh software work queue id.
 func (g *GPU) newStream() kernel.StreamID {
@@ -420,13 +424,13 @@ func (g *GPU) LaunchHost(def *kernel.Def) *kernel.Kernel {
 		LaunchCycle: g.clock,
 	}
 	g.liveKernels++
-	g.emit(trace.Event{Cycle: g.clock, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
+	g.emit(trace.Event{Cycle: uint64(g.clock), Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
 	g.flight.push(flightItem{at: g.clock, k: k})
 	return k
 }
 
 // launchChild creates and schedules a device-side child launch.
-func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandidate, aggregated bool) {
+func (g *GPU) launchChild(now kernel.Cycle, w *kernel.Warp, cand *kernel.LaunchCandidate, aggregated bool) {
 	g.kernelSeq++
 	k := &kernel.Kernel{
 		ID:          g.kernelSeq,
@@ -436,7 +440,7 @@ func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandida
 		Workload:    cand.Workload,
 		LaunchCycle: now,
 	}
-	var arrival uint64
+	var arrival kernel.Cycle
 	if aggregated {
 		// DTBL thread-block launches serialize through the warp's
 		// aggregation path like kernel launches do, but roughly an
@@ -456,23 +460,23 @@ func (g *GPU) launchChild(now uint64, w *kernel.Warp, cand *kernel.LaunchCandida
 		if w.LaunchPipeFree < now {
 			w.LaunchPipeFree = now
 		}
-		w.LaunchPipeFree += uint64(g.cfg.LaunchOverheadA)
-		arrival = w.LaunchPipeFree + uint64(g.cfg.LaunchOverheadB)
+		w.LaunchPipeFree += g.cfg.LaunchOverheadA
+		arrival = w.LaunchPipeFree + g.cfg.LaunchOverheadB
 		w.PendingLaunches++
 		g.childKernels++
 	}
-	arrival += g.inj.LaunchDelay(now, k.ID)
+	arrival += kernel.Cycle(g.inj.LaunchDelay(uint64(now), k.ID))
 	w.CTA.OutstandingChildren++
 	g.liveKernels++
 	g.offloadedWork += int64(cand.Workload)
 	g.launchCycles = append(g.launchCycles, now)
-	g.emit(trace.Event{Cycle: now, Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1, Extra: cand.Workload})
+	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1, Extra: cand.Workload})
 	g.flight.push(flightItem{at: arrival, k: k, warp: w})
 }
 
 // beginLaunch latches an InstrLaunch into the warp for (possibly
 // stalled, resumable) processing.
-func (g *GPU) beginLaunch(now uint64, w *kernel.Warp, in *kernel.Instr) {
+func (g *GPU) beginLaunch(now kernel.Cycle, w *kernel.Warp, in *kernel.Instr) {
 	w.LaunchBuf = append(w.LaunchBuf[:0], in.Candidates...)
 	w.LaunchCursor = 0
 	w.InLaunch = true
@@ -486,9 +490,9 @@ func (g *GPU) beginLaunch(now uint64, w *kernel.Warp, in *kernel.Instr) {
 // oldestPendingArrival estimates when the warp's oldest in-flight launch
 // reaches the pending pool (arrivals are spaced LaunchOverheadA apart,
 // the newest landing at LaunchPipeFree + LaunchOverheadB).
-func (g *GPU) oldestPendingArrival(now uint64, w *kernel.Warp) uint64 {
-	last := w.LaunchPipeFree + uint64(g.cfg.LaunchOverheadB)
-	span := uint64(w.PendingLaunches-1) * uint64(g.cfg.LaunchOverheadA)
+func (g *GPU) oldestPendingArrival(now kernel.Cycle, w *kernel.Warp) kernel.Cycle {
+	last := w.LaunchPipeFree + g.cfg.LaunchOverheadB
+	span := g.cfg.LaunchOverheadA.Times(w.PendingLaunches - 1)
 	t := now + 1
 	if last > span && last-span > t {
 		t = last - span
@@ -501,15 +505,15 @@ func (g *GPU) oldestPendingArrival(now uint64, w *kernel.Warp) uint64 {
 // stalls (each lane's device-launch API call needs a buffer slot, so
 // lanes serialize through the bounded pool) and resumes here later —
 // with the policy seeing the GPU state of the later cycle.
-func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
-	busy := 0
+func (g *GPU) stepLaunch(now kernel.Cycle, w *kernel.Warp) {
+	var busy kernel.Cycle
 	limit := g.cfg.MaxPendingLaunches
 	for w.LaunchCursor < len(w.LaunchBuf) {
 		if limit > 0 && w.PendingLaunches >= limit {
 			// Stall until a slot frees; decisions resume then.
 			w.ReadyAt = g.oldestPendingArrival(now, w)
-			if busy > 0 && now+uint64(busy) > w.ReadyAt {
-				w.ReadyAt = now + uint64(busy)
+			if busy > 0 && now+busy > w.ReadyAt {
+				w.ReadyAt = now + busy
 			}
 			return
 		}
@@ -519,7 +523,7 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 			Candidate:           cand,
 			ParentIsChild:       w.CTA.Kernel.IsChild(),
 			PendingWarpLaunches: w.PendingLaunches,
-			EstimatedOverhead:   uint64(g.cfg.LaunchLatency(w.PendingLaunches + 1)),
+			EstimatedOverhead:   g.cfg.LaunchLatency(w.PendingLaunches + 1),
 		}
 		dec := g.pol.Decide(&site)
 		var sc *siteCounters
@@ -528,16 +532,16 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 		}
 		if dec.Action == kernel.Defer {
 			sc.incDeferred()
-			g.emit(trace.Event{Cycle: now, Kind: trace.LaunchDeferred, CTA: -1, Extra: cand.Workload})
+			g.emit(trace.Event{Cycle: uint64(now), Kind: trace.LaunchDeferred, CTA: -1, Extra: cand.Workload})
 			// The runtime holds this lane's API call; the warp blocks
 			// and the candidate is re-presented on resume.
-			wait := uint64(dec.APICycles)
+			wait := dec.APICycles
 			if wait < 1 {
 				wait = 1
 			}
 			w.ReadyAt = now + wait
-			if busy > 0 && now+uint64(busy) > w.ReadyAt {
-				w.ReadyAt = now + uint64(busy)
+			if busy > 0 && now+busy > w.ReadyAt {
+				w.ReadyAt = now + busy
 			}
 			return
 		}
@@ -547,11 +551,11 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 		switch dec.Action {
 		case kernel.Serialize:
 			sc.incDeclined()
-			g.emit(trace.Event{Cycle: now, Kind: trace.LaunchDeclined, CTA: -1, Extra: cand.Workload})
+			g.emit(trace.Event{Cycle: uint64(now), Kind: trace.LaunchDeclined, CTA: -1, Extra: cand.Workload})
 			w.Exec.Accepted[w.LaunchCursor] = false
 		case kernel.LaunchKernel:
 			sc.incAccepted()
-			g.emit(trace.Event{Cycle: now, Kind: trace.LaunchAccepted, CTA: -1, Extra: cand.Workload})
+			g.emit(trace.Event{Cycle: uint64(now), Kind: trace.LaunchAccepted, CTA: -1, Extra: cand.Workload})
 			w.Exec.Accepted[w.LaunchCursor] = true
 			g.launchChild(now, w, cand, false)
 		case kernel.LaunchCTAs:
@@ -567,20 +571,20 @@ func (g *GPU) stepLaunch(now uint64, w *kernel.Warp) {
 	if busy < 1 {
 		busy = 1
 	}
-	w.ReadyAt = now + uint64(busy)
+	w.ReadyAt = now + busy
 }
 
 // parkWarp removes a warp from scheduling (sync wait or retirement).
-func (g *GPU) parkWarp(now uint64, w *kernel.Warp, state kernel.WarpState) {
+func (g *GPU) parkWarp(now kernel.Cycle, w *kernel.Warp, state kernel.WarpState) {
 	w.State = state
-	g.activeWarps.Add(now, -1)
+	g.activeWarps.Add(uint64(now), -1)
 	if w.CTA.WarpRetired() {
 		g.ctaExecDone(now, w.CTA)
 	}
 }
 
 // execSync processes DeviceSynchronize.
-func (g *GPU) execSync(now uint64, w *kernel.Warp) {
+func (g *GPU) execSync(now kernel.Cycle, w *kernel.Warp) {
 	if w.CTA.OutstandingChildren == 0 {
 		// Nothing to wait for; continue immediately.
 		w.ReadyAt = now + 1
@@ -590,7 +594,7 @@ func (g *GPU) execSync(now uint64, w *kernel.Warp) {
 }
 
 // retireWarp handles a program that returned no further instructions.
-func (g *GPU) retireWarp(now uint64, w *kernel.Warp) {
+func (g *GPU) retireWarp(now kernel.Cycle, w *kernel.Warp) {
 	if w.CTA.Kernel.IsChild() {
 		g.pol.OnChildWarpFinish(now, w.CTA.StartCycle)
 	}
@@ -600,7 +604,7 @@ func (g *GPU) retireWarp(now uint64, w *kernel.Warp) {
 // ctaExecDone fires when the last warp of a CTA retired or parked: the
 // CTA relinquishes its SMX resources (Section II-C). If children are
 // still outstanding the CTA waits detached; otherwise it completes.
-func (g *GPU) ctaExecDone(now uint64, c *kernel.CTA) {
+func (g *GPU) ctaExecDone(now kernel.Cycle, c *kernel.CTA) {
 	g.smxs[c.SMX].Release(c)
 	g.noteCTALevel(now, c.Kernel.IsChild(), -1)
 	g.sampleUtilization(now)
@@ -614,24 +618,24 @@ func (g *GPU) ctaExecDone(now uint64, c *kernel.CTA) {
 		return
 	}
 	c.State = kernel.CTAWaitingSync
-	g.emit(trace.Event{Cycle: now, Kind: trace.CTASuspended, Kernel: c.Kernel.ID, CTA: c.Index})
+	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.CTASuspended, Kernel: c.Kernel.ID, CTA: c.Index})
 	k := c.Kernel
 	k.SuspendedCTAs++
 	if k.FullySuspended() {
 		// Every incomplete CTA of this kernel is blocked on children:
 		// release the HWQ slot so descendants can dispatch.
 		g.gmu.Yield(k)
-		g.emit(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
 	}
 }
 
 // completeCTA finalizes a CTA whose warps retired and children drained.
-func (g *GPU) completeCTA(now uint64, c *kernel.CTA) {
+func (g *GPU) completeCTA(now kernel.Cycle, c *kernel.CTA) {
 	if c.State == kernel.CTAWaitingSync {
 		c.Kernel.SuspendedCTAs--
 	}
 	c.State = kernel.CTADone
-	g.emit(trace.Event{Cycle: now, Kind: trace.CTACompleted, Kernel: c.Kernel.ID, CTA: c.Index})
+	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.CTACompleted, Kernel: c.Kernel.ID, CTA: c.Index})
 	for _, w := range c.Warps {
 		w.State = kernel.WarpDone
 	}
@@ -645,15 +649,15 @@ func (g *GPU) completeCTA(now uint64, c *kernel.CTA) {
 		// The last non-suspended CTA just completed: the kernel now only
 		// waits on children and must release its HWQ slot.
 		g.gmu.Yield(k)
-		g.emit(trace.Event{Cycle: now, Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
 	}
 }
 
 // completeKernel retires a kernel and wakes its parent CTA if this was
 // the last outstanding child (completion can cascade through nesting).
-func (g *GPU) completeKernel(now uint64, k *kernel.Kernel) {
+func (g *GPU) completeKernel(now kernel.Cycle, k *kernel.Kernel) {
 	k.DoneCycle = now
-	g.emit(trace.Event{Cycle: now, Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
+	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
 	g.gmu.KernelCompleted(k)
 	g.liveKernels--
 	if p := k.Parent; p != nil {
@@ -665,23 +669,23 @@ func (g *GPU) completeKernel(now uint64, k *kernel.Kernel) {
 }
 
 // noteCTALevel maintains the concurrent parent/child CTA levels.
-func (g *GPU) noteCTALevel(now uint64, child bool, delta int64) {
+func (g *GPU) noteCTALevel(now kernel.Cycle, child bool, delta int64) {
 	if child {
-		g.childCTAs.Add(now, delta)
+		g.childCTAs.Add(uint64(now), delta)
 		if g.childSeries != nil {
-			g.childSeries.Set(now, float64(g.childCTAs.Level()))
+			g.childSeries.Set(uint64(now), float64(g.childCTAs.Level()))
 		}
 	} else {
-		g.parentCTAs.Add(now, delta)
+		g.parentCTAs.Add(uint64(now), delta)
 		if g.parentSeries != nil {
-			g.parentSeries.Set(now, float64(g.parentCTAs.Level()))
+			g.parentSeries.Set(uint64(now), float64(g.parentCTAs.Level()))
 		}
 	}
 }
 
 // sampleUtilization records the average Section III-A1 resource
 // utilization across SMXs at a change point.
-func (g *GPU) sampleUtilization(now uint64) {
+func (g *GPU) sampleUtilization(now kernel.Cycle) {
 	if g.utilSeries == nil {
 		return
 	}
@@ -689,19 +693,19 @@ func (g *GPU) sampleUtilization(now uint64) {
 	for _, m := range g.smxs {
 		sum += m.Utilization()
 	}
-	g.utilSeries.Set(now, sum/float64(len(g.smxs)))
+	g.utilSeries.Set(uint64(now), sum/float64(len(g.smxs)))
 }
 
 // place attempts to dispatch the next CTA of k onto some SMX
 // (round-robin CTA scheduler).
 func (g *GPU) place(k *kernel.Kernel) bool {
 	d := k.Def
-	threads := d.CTAThreads
+	threads := kernel.ThreadCount(d.CTAThreads)
 	regs := d.RegsPerThread * d.CTAThreads
 	shmem := d.SharedMemBytes
 	for i := 0; i < len(g.smxs); i++ {
 		m := g.smxs[(g.rrSMX+i)%len(g.smxs)]
-		if g.inj.SMXOffline(g.clock, m.ID) {
+		if g.inj.SMXOffline(uint64(g.clock), m.ID) {
 			continue
 		}
 		if !m.FitsRes(threads, regs, shmem) {
@@ -711,8 +715,8 @@ func (g *GPU) place(k *kernel.Kernel) bool {
 		c := kernel.NewCTA(k, k.NextCTA, g.cfg.WarpSize)
 		k.NextCTA++
 		m.Place(g.clock, c, &g.ageSeq)
-		g.emit(trace.Event{Cycle: g.clock, Kind: trace.CTAPlaced, Kernel: k.ID, CTA: c.Index, Extra: m.ID})
-		g.activeWarps.Add(g.clock, int64(len(c.Warps)))
+		g.emit(trace.Event{Cycle: uint64(g.clock), Kind: trace.CTAPlaced, Kernel: k.ID, CTA: c.Index, Extra: m.ID})
+		g.activeWarps.Add(uint64(g.clock), int64(len(c.Warps)))
 		g.noteCTALevel(g.clock, k.IsChild(), 1)
 		g.sampleUtilization(g.clock)
 		if k.IsChild() {
@@ -725,7 +729,7 @@ func (g *GPU) place(k *kernel.Kernel) bool {
 }
 
 // execute issues the next instruction of warp w at cycle now.
-func (g *GPU) execute(now uint64, w *kernel.Warp) {
+func (g *GPU) execute(now kernel.Cycle, w *kernel.Warp) {
 	if w.InLaunch {
 		g.stepLaunch(now, w)
 		return
@@ -738,7 +742,7 @@ func (g *GPU) execute(now uint64, w *kernel.Warp) {
 	}
 	switch in.Kind {
 	case kernel.InstrALU:
-		lat := uint64(in.Lat)
+		lat := kernel.Cycle(in.Lat)
 		if lat < 1 {
 			lat = 1
 		}
@@ -756,7 +760,7 @@ func (g *GPU) execute(now uint64, w *kernel.Warp) {
 
 // processArrivals moves launch-flight kernels that reached the pending
 // pool into the GMU. Returns true if anything arrived.
-func (g *GPU) processArrivals(now uint64) bool {
+func (g *GPU) processArrivals(now kernel.Cycle) bool {
 	any := false
 	for len(g.flight) > 0 && g.flight[0].at <= now {
 		it := g.flight.pop()
@@ -768,8 +772,8 @@ func (g *GPU) processArrivals(now uint64) bool {
 			g.childQueued++
 			g.pol.OnChildQueued(now, it.k.Def.GridCTAs)
 		}
-		g.mTransit.Observe(now - it.k.LaunchCycle)
-		g.emit(trace.Event{Cycle: now, Kind: trace.KernelArrived, Kernel: it.k.ID, CTA: -1})
+		g.mTransit.Observe(uint64(now - it.k.LaunchCycle))
+		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelArrived, Kernel: it.k.ID, CTA: -1})
 		g.gmu.Enqueue(it.k)
 		any = true
 	}
@@ -777,7 +781,7 @@ func (g *GPU) processArrivals(now uint64) bool {
 }
 
 // heartbeat reports progress to the Options.Heartbeat callback.
-func (g *GPU) heartbeat(now uint64) {
+func (g *GPU) heartbeat(now kernel.Cycle) {
 	//spawnvet:allow determinism heartbeat rate is presentation-only; it never feeds Result, traces, or metrics
 	wall := time.Now()
 	rate := 0.0
@@ -799,7 +803,7 @@ func (g *GPU) heartbeat(now uint64) {
 
 // abort snapshots a partial Result and pairs it with an AbortError, so
 // callers can flush sinks and inspect progress up to the abort cycle.
-func (g *GPU) abort(kind AbortKind, now uint64, cause error, detail string) (*Result, error) {
+func (g *GPU) abort(kind AbortKind, now kernel.Cycle, cause error, detail string) (*Result, error) {
 	return g.result(), &AbortError{
 		Kind:        kind,
 		Cycle:       now,
@@ -885,7 +889,7 @@ func (g *GPU) Run() (*Result, error) {
 			continue
 		}
 		// Quiescent: fast-forward to the next event.
-		next := uint64(smx.NoEvent)
+		next := smx.NoEvent
 		for _, m := range g.smxs {
 			if r := m.NextReady(); r < next {
 				next = r
@@ -898,11 +902,11 @@ func (g *GPU) Run() (*Result, error) {
 		// work still queued; the next epoch boundary is then a real event
 		// (the window clears), not a deadlock.
 		if g.inj.Active() && g.gmu.HasDispatchable() {
-			if nc := g.inj.NextChange(now); nc < next {
+			if nc := kernel.Cycle(g.inj.NextChange(uint64(now))); nc < next {
 				next = nc
 			}
 		}
-		if next == uint64(smx.NoEvent) {
+		if next == smx.NoEvent {
 			return g.abort(AbortDeadlock, now, nil,
 				fmt.Sprintf("%d queued kernels, %d pending CTAs",
 					g.gmu.QueuedKernels(), g.gmu.PendingCTAs()))

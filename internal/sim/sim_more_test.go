@@ -71,7 +71,7 @@ func TestPendingLaunchPoolPacesArrivals(t *testing.T) {
 	}
 	first := res.LaunchCycles[0]
 	last := res.LaunchCycles[len(res.LaunchCycles)-1]
-	if last-first < uint64(cfg.LaunchOverheadB) {
+	if last-first < cfg.LaunchOverheadB {
 		t.Errorf("decisions span %d cycles; pool back-pressure should spread them past b=%d",
 			last-first, cfg.LaunchOverheadB)
 	}

@@ -218,7 +218,7 @@ func TestLaunchOverheadDelaysChildren(t *testing.T) {
 	cfg := config.K20m()
 	resDP := run(t, runtime.Threshold{T: 0}, dpParent(64, 10, 2, 4))
 	// A child cannot complete before the minimum launch latency.
-	if resDP.Cycles < uint64(cfg.LaunchLatency(1)) {
+	if resDP.Cycles < cfg.LaunchLatency(1) {
 		t.Errorf("DP run finished in %d cycles, below the launch overhead %d",
 			resDP.Cycles, cfg.LaunchLatency(1))
 	}
@@ -328,7 +328,7 @@ func TestLaunchCyclesRecorded(t *testing.T) {
 	if len(res.LaunchCycles) != res.ChildKernels {
 		t.Errorf("launch cycles = %d entries, want %d", len(res.LaunchCycles), res.ChildKernels)
 	}
-	prevMax := uint64(0)
+	prevMax := kernel.Cycle(0)
 	for _, c := range res.LaunchCycles {
 		if c > res.Cycles {
 			t.Fatalf("launch cycle %d beyond end %d", c, res.Cycles)

@@ -14,7 +14,7 @@ import (
 )
 
 // NoEvent is returned by NextReady when no warp will ever become ready.
-const NoEvent = math.MaxUint64
+const NoEvent = kernel.Cycle(math.MaxUint64)
 
 // scheduler is one GTO warp scheduler: it keeps issuing from the current
 // (greedy) warp until it stalls, then switches to the oldest ready warp.
@@ -23,7 +23,7 @@ type scheduler struct {
 	greedy *kernel.Warp
 	// minReady is a conservative lower bound on the earliest cycle any
 	// warp here can issue; pick() refreshes it, Place() lowers it.
-	minReady uint64
+	minReady kernel.Cycle
 }
 
 // prune drops retired warps from the front-to-back scan list.
@@ -39,7 +39,7 @@ func (s *scheduler) prune() {
 
 // pick returns a warp that may issue at `now`, or nil. On a miss it
 // refreshes minReady so idle schedulers can be skipped cheaply.
-func (s *scheduler) pick(now uint64) *kernel.Warp {
+func (s *scheduler) pick(now kernel.Cycle) *kernel.Warp {
 	if s.minReady > now {
 		return nil
 	}
@@ -47,7 +47,7 @@ func (s *scheduler) pick(now uint64) *kernel.Warp {
 		return g
 	}
 	needPrune := false
-	min := uint64(NoEvent)
+	min := NoEvent
 	for _, w := range s.warps {
 		if w.State != kernel.WarpReady {
 			needPrune = true
@@ -75,16 +75,16 @@ func (s *scheduler) pick(now uint64) *kernel.Warp {
 }
 
 // nextReady returns the cached earliest issue cycle (a lower bound).
-func (s *scheduler) nextReady() uint64 { return s.minReady }
+func (s *scheduler) nextReady() kernel.Cycle { return s.minReady }
 
 // SMX is one streaming multiprocessor.
 type SMX struct {
 	ID  int
 	cfg *config.GPU
 
-	freeThreads int
+	freeThreads kernel.ThreadCount
 	freeRegs    int
-	freeShmem   int
+	freeShmem   kernel.Bytes
 	freeCTAs    int
 
 	scheds []scheduler
@@ -132,7 +132,7 @@ func (m *SMX) Fits(c *kernel.CTA) bool {
 
 // FitsRes reports whether a CTA with the given resource footprint can be
 // placed now (used to check a Def before materializing the CTA).
-func (m *SMX) FitsRes(threads, regs, shmem int) bool {
+func (m *SMX) FitsRes(threads kernel.ThreadCount, regs int, shmem kernel.Bytes) bool {
 	return threads <= m.freeThreads &&
 		regs <= m.freeRegs &&
 		shmem <= m.freeShmem &&
@@ -144,7 +144,7 @@ func (m *SMX) FitsRes(threads, regs, shmem int) bool {
 // increasing ages for GTO ordering.
 //
 //spawnvet:hotpath
-func (m *SMX) Place(now uint64, c *kernel.CTA, ageSeq *uint64) {
+func (m *SMX) Place(now kernel.Cycle, c *kernel.CTA, ageSeq *uint64) {
 	if !m.Fits(c) {
 		panic(kernel.Invariantf(now, m.component(), "placing CTA that does not fit"))
 	}
@@ -198,13 +198,13 @@ func (m *SMX) Schedulers() int { return len(m.scheds) }
 // Pick returns a warp eligible to issue on scheduler si at `now`, or nil.
 //
 //spawnvet:hotpath
-func (m *SMX) Pick(si int, now uint64) *kernel.Warp {
+func (m *SMX) Pick(si int, now kernel.Cycle) *kernel.Warp {
 	return m.scheds[si].pick(now)
 }
 
 // NextReady returns the earliest cycle any warp on this SMX can issue.
-func (m *SMX) NextReady() uint64 {
-	min := uint64(NoEvent)
+func (m *SMX) NextReady() kernel.Cycle {
+	min := NoEvent
 	for i := range m.scheds {
 		if r := m.scheds[i].nextReady(); r < min {
 			min = r
@@ -241,7 +241,7 @@ func (m *SMX) component() string { return fmt.Sprintf("smx %d", m.ID) }
 // back to the hardware totals, resident CTAs in the running state on
 // this SMX, and warp launch-buffer cursors in range. It returns a
 // *kernel.InvariantError describing the first violation, or nil.
-func (m *SMX) CheckInvariants(now uint64) error {
+func (m *SMX) CheckInvariants(now kernel.Cycle) error {
 	cfg := m.cfg
 	if n := len(m.resident); n > cfg.MaxCTAsPerSM {
 		return kernel.Invariantf(now, m.component(), "%d resident CTAs exceed limit %d", n, cfg.MaxCTAsPerSM)
@@ -250,7 +250,9 @@ func (m *SMX) CheckInvariants(now uint64) error {
 		return kernel.Invariantf(now, m.component(), "free CTA slots %d != %d - %d resident",
 			m.freeCTAs, cfg.MaxCTAsPerSM, len(m.resident))
 	}
-	var threads, regs, shmem int
+	var threads kernel.ThreadCount
+	var regs int
+	var shmem kernel.Bytes
 	for _, c := range m.resident {
 		if c.State != kernel.CTARunning {
 			return kernel.Invariantf(now, m.component(), "resident CTA %d of %v in state %d, want running",
@@ -294,7 +296,7 @@ func (m *SMX) CheckInvariants(now uint64) error {
 }
 
 // FreeThreads exposes the free thread slots (tests/diagnostics).
-func (m *SMX) FreeThreads() int { return m.freeThreads }
+func (m *SMX) FreeThreads() kernel.ThreadCount { return m.freeThreads }
 
 // FreeCTASlots exposes the free CTA slots.
 func (m *SMX) FreeCTASlots() int { return m.freeCTAs }

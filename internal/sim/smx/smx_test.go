@@ -14,7 +14,7 @@ func prog(cta, warp int) kernel.Program {
 func mkCTA(threads, regsPerThread, shmem int) *kernel.CTA {
 	d := &kernel.Def{
 		Name: "k", GridCTAs: 1, CTAThreads: threads,
-		RegsPerThread: regsPerThread, SharedMemBytes: shmem,
+		RegsPerThread: regsPerThread, SharedMemBytes: kernel.Bytes(shmem),
 		NewProgram: prog,
 	}
 	return kernel.NewCTA(&kernel.Kernel{Def: d}, 0, 32)
@@ -137,7 +137,7 @@ func TestNextReady(t *testing.T) {
 	// NextReady is a conservative cache refreshed by Pick.
 	m.Pick(0, 0)
 	m.Pick(1, 0)
-	if m.NextReady() != uint64(NoEvent) {
+	if m.NextReady() != NoEvent {
 		t.Error("empty SMX should report NoEvent after a refresh")
 	}
 	var age uint64
