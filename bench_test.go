@@ -5,6 +5,10 @@
 //	go test -bench=. -benchmem -benchtime=1x
 //
 // unless you want the adaptive runner to repeat multi-second sweeps.
+//
+// Multi-run experiments go through the parallel sweep engine at its
+// default width (GOMAXPROCS workers), so these numbers measure the
+// harness as shipped; outputs are byte-identical at any width.
 package spawnsim_test
 
 import (
@@ -16,6 +20,10 @@ import (
 	"spawnsim/internal/stats"
 	"spawnsim/internal/workloads"
 )
+
+// benchPool runs every multi-run experiment at the default worker count
+// (GOMAXPROCS).
+var benchPool = &harness.Pool{}
 
 // BenchmarkTable1 materializes every Table I benchmark (inputs +
 // workload apps) and checks their work totals.
@@ -56,7 +64,7 @@ func BenchmarkFig5(b *testing.B) {
 	for _, name := range workloads.Names() {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := harness.Fig5(name)
+				r, err := benchPool.Fig5(name)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -75,7 +83,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates the Baseline-DP concurrency timeline.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ss, err := harness.Fig6()
+		ss, err := benchPool.Fig6()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +96,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the child-CTA-size sensitivity study.
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Fig7(); err != nil {
+		if _, err := benchPool.Fig7(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +105,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates the SWQ-assignment comparison.
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig8()
+		t, err := benchPool.Fig8()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +120,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig12 regenerates the child-CTA execution-time PDFs.
 func BenchmarkFig12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rs, err := harness.Fig12()
+		rs, err := benchPool.Fig12()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +139,7 @@ var (
 )
 
 func comparisons(b *testing.B) []*harness.MainComparison {
-	mainOnce.Do(func() { mainMCs, mainErr = harness.CompareAll() })
+	mainOnce.Do(func() { mainMCs, mainErr = benchPool.CompareAll() })
 	if mainErr != nil {
 		b.Fatal(mainErr)
 	}
@@ -187,7 +195,7 @@ func BenchmarkFig18(b *testing.B) {
 // BenchmarkFig19 regenerates the Baseline-DP vs SPAWN timelines.
 func BenchmarkFig19(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := harness.Fig19(); err != nil {
+		if _, _, err := benchPool.Fig19(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,7 +204,7 @@ func BenchmarkFig19(b *testing.B) {
 // BenchmarkFig20 regenerates the cumulative-launch CDFs.
 func BenchmarkFig20(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := harness.Fig20()
+		r, err := benchPool.Fig20()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +217,7 @@ func BenchmarkFig20(b *testing.B) {
 // BenchmarkFig21 regenerates the SPAWN vs DTBL comparison.
 func BenchmarkFig21(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Fig21(); err != nil {
+		if _, err := benchPool.Fig21(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -230,7 +238,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkAblation runs the SPAWN design-choice ablation of DESIGN.md §4.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Ablation("BFS-graph500"); err != nil {
+		if _, err := benchPool.Ablation("BFS-graph500"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -239,7 +247,7 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkHWQSensitivity runs the HWQ-count extension experiment.
 func BenchmarkHWQSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.HWQSensitivity("BFS-graph500"); err != nil {
+		if _, err := benchPool.HWQSensitivity("BFS-graph500"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // object mapping each benchmark name to its ns/op, so CI can archive a
-// machine-readable latency snapshot (BENCH_pr4.json) next to the repo.
+// machine-readable latency snapshot (BENCH_pr5.json) next to the repo.
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x -run='^$' . | benchjson -out BENCH_pr4.json
+//	go test -bench=. -benchtime=1x -run='^$' . | benchjson -out BENCH_pr5.json
 //
 // Lines that are not benchmark results (headers, PASS, ok) are ignored.
 // Exit status 1 when no benchmark lines were found (a broken bench run

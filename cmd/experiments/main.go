@@ -6,6 +6,7 @@
 //	experiments -exp table2
 //	experiments -exp fig15
 //	experiments -exp fig5 -bench BFS-graph500
+//	experiments -exp fig5 -parallel 8
 //	experiments -all
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		csv        = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		metricsDir = flag.String("metrics", "", "dump a per-run metrics snapshot (metrics-<bench>-<scheme>.json) into this directory")
+		parallel   = flag.Int("parallel", 0, "simulations run concurrently per sweep (0 = GOMAXPROCS, 1 = serial); outputs are byte-identical at any width")
 
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 		check     = flag.Bool("check", false, "audit simulator conservation-law invariants during every run")
@@ -41,14 +43,6 @@ func main() {
 		retries   = flag.Int("retries", 0, "retry transient chaos-run failures up to N times under derived seeds")
 	)
 	flag.Parse()
-
-	if *metricsDir != "" {
-		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		harness.RunObserver = metricsDumper(*metricsDir)
-	}
 
 	var plan *faults.Plan
 	if *chaosPlan != "" {
@@ -61,16 +55,31 @@ func main() {
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
 	// The figure drivers build their Specs internally, so the robustness
-	// settings reach them through the harness-wide defaults hook.
-	harness.SpecDefaults = func(s *harness.Spec) {
-		s.Context = ctx
-		s.Deadline = *timeout
-		s.CheckInvariants = *check
-		s.Retries = *retries
-		if plan != nil && s.FaultPlan == nil {
-			s.FaultPlan = plan
+	// settings reach every run through the pool's per-spec defaults hook
+	// (not the deprecated harness globals, which are unsafe to share
+	// between concurrent workers).
+	pool := &harness.Pool{
+		Workers: *parallel,
+		Context: ctx,
+		Defaults: func(s *harness.Spec) {
+			s.Deadline = *timeout
+			s.CheckInvariants = *check
+			s.Retries = *retries
+			if plan != nil && s.FaultPlan == nil {
+				s.FaultPlan = plan
+			}
+		},
+	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
+		// The pool serializes observer callbacks, so the dumper needs no
+		// locking even at -parallel > 1.
+		pool.Observer = metricsDumper(*metricsDir)
 	}
 
 	ids := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig12",
@@ -80,7 +89,7 @@ func main() {
 		// still regenerate, and the failures are summarized at the end.
 		var failed []string
 		for _, id := range ids {
-			if err := run(id, *bench, *csv); err != nil {
+			if err := run(pool, id, *bench, *csv); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 				failed = append(failed, id)
 			}
@@ -96,16 +105,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: pass -exp one of %s, or -all\n", strings.Join(ids, "|"))
 		os.Exit(2)
 	}
-	if err := run(*exp, *bench, *csv); err != nil {
+	if err := run(pool, *exp, *bench, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-// metricsDumper returns a harness.RunObserver that writes every run's
-// metrics snapshot to <dir>/metrics-<bench>-<scheme>.json. Scheme names
-// like "threshold:512" are sanitized for the filesystem; repeated runs
-// of the same (bench, scheme) pair overwrite, keeping the latest.
+// metricsDumper returns an observer that writes every run's metrics
+// snapshot to <dir>/metrics-<bench>-<scheme>.json. Scheme names like
+// "threshold:512" are sanitized for the filesystem; repeated runs of
+// the same (bench, scheme) pair overwrite, keeping the latest. Files
+// are keyed by run identity, never call order, so parallel sweeps
+// produce byte-identical dumps.
 func metricsDumper(dir string) func(*harness.Outcome) {
 	return func(out *harness.Outcome) {
 		if out.Metrics == nil {
@@ -123,10 +134,10 @@ func metricsDumper(dir string) func(*harness.Outcome) {
 // Figures 15-18.
 var mainComparisons []*harness.MainComparison
 
-func comparisons() ([]*harness.MainComparison, error) {
+func comparisons(pool *harness.Pool) ([]*harness.MainComparison, error) {
 	if mainComparisons == nil {
 		var err error
-		mainComparisons, err = harness.CompareAll()
+		mainComparisons, err = pool.CompareAll()
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +166,7 @@ func writeTableCSV(dir, name string, t *harness.Table) error {
 	return t.WriteCSV(f)
 }
 
-func run(id, bench, csvDir string) error {
+func run(pool *harness.Pool, id, bench, csvDir string) error {
 	switch id {
 	case "table1":
 		fmt.Println("Table I: benchmarks (<application, input> pairs)")
@@ -179,7 +190,7 @@ func run(id, bench, csvDir string) error {
 			names = []string{bench}
 		}
 		for _, n := range names {
-			r, err := harness.Fig5(n)
+			r, err := pool.Fig5(n)
 			if err != nil {
 				return err
 			}
@@ -195,26 +206,26 @@ func run(id, bench, csvDir string) error {
 			}
 		}
 	case "fig6":
-		ss, err := harness.Fig6()
+		ss, err := pool.Fig6()
 		if err != nil {
 			return err
 		}
 		fmt.Println("Figure 6: CTA concurrency and resource utilization (BFS-graph500, Baseline-DP)")
 		fmt.Print(ss.Render())
 	case "fig7":
-		t, err := harness.Fig7()
+		t, err := pool.Fig7()
 		if err != nil {
 			return err
 		}
 		fmt.Print(t.Render())
 	case "fig8":
-		t, err := harness.Fig8()
+		t, err := pool.Fig8()
 		if err != nil {
 			return err
 		}
 		fmt.Print(t.Render())
 	case "fig12":
-		rs, err := harness.Fig12()
+		rs, err := pool.Fig12()
 		if err != nil {
 			return err
 		}
@@ -223,7 +234,7 @@ func run(id, bench, csvDir string) error {
 			fmt.Print(r.Render())
 		}
 	case "fig15", "fig16", "fig17", "fig18":
-		mcs, err := comparisons()
+		mcs, err := comparisons(pool)
 		if err != nil {
 			return err
 		}
@@ -243,7 +254,7 @@ func run(id, bench, csvDir string) error {
 			return err
 		}
 	case "fig19":
-		base, sp, err := harness.Fig19()
+		base, sp, err := pool.Fig19()
 		if err != nil {
 			return err
 		}
@@ -251,13 +262,13 @@ func run(id, bench, csvDir string) error {
 		fmt.Print(base.Render())
 		fmt.Print(sp.Render())
 	case "fig20":
-		r, err := harness.Fig20()
+		r, err := pool.Fig20()
 		if err != nil {
 			return err
 		}
 		fmt.Print(r.Render())
 	case "fig21":
-		t, err := harness.Fig21()
+		t, err := pool.Fig21()
 		if err != nil {
 			return err
 		}
@@ -267,7 +278,7 @@ func run(id, bench, csvDir string) error {
 		if bench != "" {
 			n = bench
 		}
-		t, err := harness.HWQSensitivity(n)
+		t, err := pool.HWQSensitivity(n)
 		if err != nil {
 			return err
 		}
@@ -281,7 +292,7 @@ func run(id, bench, csvDir string) error {
 			names = []string{bench}
 		}
 		for _, n := range names {
-			t, err := harness.Ablation(n)
+			t, err := pool.Ablation(n)
 			if err != nil {
 				return err
 			}

@@ -49,6 +49,8 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 
+		parallel = flag.Int("parallel", 0, "concurrent simulations for sweep schemes like 'offline' (0 = GOMAXPROCS, 1 = serial); results are byte-identical at any width")
+
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline; the run aborts cleanly with partial results (0 = none)")
 		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget (0 = simulator default)")
 		check     = flag.Bool("check", false, "audit simulator conservation-law invariants during the run")
@@ -151,7 +153,10 @@ func main() {
 		}
 	}
 
-	out, err := harness.Run(spec)
+	// The pool only matters for sweep schemes (offline): candidates fan
+	// out across -parallel workers with byte-identical results.
+	pool := &harness.Pool{Workers: *parallel, Context: ctx}
+	out, err := pool.RunSpec(spec)
 
 	// Close sinks before checking the run error so partial traces are
 	// flushed (Perfetto closes dangling spans) even on failure.

@@ -7,6 +7,12 @@ import (
 	"strconv"
 )
 
+// Every CSV emitter formats floats with strconv precision -1: the
+// shortest string that round-trips the exact float64. Fixed 6-digit
+// precision silently rounded cycle counts in the 1e9 range, breaking
+// the byte-identical artifact contract between runs that differ only
+// past the sixth significant digit.
+
 // WriteCSV emits the table as CSV (label column first) for plotting.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
@@ -18,7 +24,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		rec := make([]string, 0, len(r.Values)+1)
 		rec = append(rec, r.Label)
 		for _, v := range r.Values {
-			rec = append(rec, strconv.FormatFloat(v, 'g', 6, 64))
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -37,9 +43,9 @@ func (r *Fig5Result) WriteCSV(w io.Writer) error {
 	for _, p := range r.Points {
 		if err := cw.Write([]string{
 			r.Benchmark,
-			strconv.FormatFloat(p.Threshold, 'g', 6, 64),
-			strconv.FormatFloat(p.Offload, 'g', 6, 64),
-			strconv.FormatFloat(p.Speedup, 'g', 6, 64),
+			strconv.FormatFloat(p.Threshold, 'g', -1, 64),
+			strconv.FormatFloat(p.Offload, 'g', -1, 64),
+			strconv.FormatFloat(p.Speedup, 'g', -1, 64),
 		}); err != nil {
 			return err
 		}
@@ -64,9 +70,9 @@ func (s *SeriesSet) WriteCSV(w io.Writer) error {
 	for i := 0; i < n; i++ {
 		if err := cw.Write([]string{
 			fmt.Sprint(uint64(i) * s.Interval),
-			strconv.FormatFloat(s.Parent[i], 'g', 6, 64),
-			strconv.FormatFloat(s.Child[i], 'g', 6, 64),
-			strconv.FormatFloat(s.Util[i], 'g', 6, 64),
+			strconv.FormatFloat(s.Parent[i], 'g', -1, 64),
+			strconv.FormatFloat(s.Child[i], 'g', -1, 64),
+			strconv.FormatFloat(s.Util[i], 'g', -1, 64),
 		}); err != nil {
 			return err
 		}

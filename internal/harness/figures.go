@@ -36,46 +36,81 @@ type Fig5Result struct {
 	Points    []Fig5Point
 }
 
-// Fig5 sweeps the parent/child workload distribution for one benchmark
-// (the paper's Figure 5): speedup over flat as a function of the
-// fraction of workload offloaded via child kernels.
-func Fig5(benchmark string) (*Fig5Result, error) {
-	flat, err := Run(Spec{Benchmark: benchmark, Scheme: SchemeFlat})
-	if err != nil {
-		return nil, err
-	}
+// fig5Specs builds one benchmark's Figure 5 batch: the flat reference
+// first, then one spec per sweep threshold.
+func fig5Specs(benchmark string) ([]Spec, error) {
 	app, err := Spec{Benchmark: benchmark}.buildApp()
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig5Result{Benchmark: benchmark}
+	specs := []Spec{{Benchmark: benchmark, Scheme: SchemeFlat}}
 	for _, t := range SweepThresholds(app) {
-		out, err := Run(Spec{Benchmark: benchmark, Scheme: fmt.Sprintf("threshold:%d", t)})
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, Spec{Benchmark: benchmark, Scheme: fmt.Sprintf("threshold:%d", t)})
+	}
+	return specs, nil
+}
+
+// fig5Assemble folds one benchmark's batch (flat first) into the sorted
+// sweep result.
+func fig5Assemble(benchmark string, outs []*Outcome) *Fig5Result {
+	res := &Fig5Result{Benchmark: benchmark}
+	flat := outs[0]
+	for _, out := range outs[1:] {
 		res.Points = append(res.Points, Fig5Point{
-			Threshold: float64(t),
+			Threshold: float64(out.Threshold),
 			Offload:   out.Result.OffloadedFraction,
 			Speedup:   float64(flat.Result.Cycles) / float64(out.Result.Cycles),
 		})
 	}
 	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].Offload < res.Points[j].Offload })
-	return res, nil
+	return res
 }
 
-// Fig5All runs the Figure 5 sweep for every benchmark.
-func Fig5All() ([]*Fig5Result, error) {
-	var out []*Fig5Result
-	for _, name := range workloads.Names() {
-		r, err := Fig5(name)
+// Fig5 sweeps the parent/child workload distribution for one benchmark
+// (the paper's Figure 5): speedup over flat as a function of the
+// fraction of workload offloaded via child kernels.
+func (p *Pool) Fig5(benchmark string) (*Fig5Result, error) {
+	specs, err := fig5Specs(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := p.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	return fig5Assemble(benchmark, outs), nil
+}
+
+// Fig5 is the serial form of (*Pool).Fig5.
+func Fig5(benchmark string) (*Fig5Result, error) { return Serial().Fig5(benchmark) }
+
+// Fig5All runs the Figure 5 sweep for every benchmark, as one flat
+// batch so the workers stay busy across benchmark boundaries.
+func (p *Pool) Fig5All() ([]*Fig5Result, error) {
+	names := workloads.Names()
+	var specs []Spec
+	ranges := make([][2]int, len(names)) // [start, end) of each benchmark's batch
+	for i, name := range names {
+		bs, err := fig5Specs(name)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		ranges[i] = [2]int{len(specs), len(specs) + len(bs)}
+		specs = append(specs, bs...)
 	}
-	return out, nil
+	outs, err := p.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Fig5Result, len(names))
+	for i, name := range names {
+		results[i] = fig5Assemble(name, outs[ranges[i][0]:ranges[i][1]])
+	}
+	return results, nil
 }
+
+// Fig5All is the serial form of (*Pool).Fig5All.
+func Fig5All() ([]*Fig5Result, error) { return Serial().Fig5All() }
 
 // SeriesSet carries the time-series outputs of Figures 6 and 19.
 type SeriesSet struct {
@@ -88,12 +123,8 @@ type SeriesSet struct {
 	Cycles    uint64
 }
 
-// runSeries samples one benchmark/scheme with time series enabled.
-func runSeries(benchmark, scheme string, interval uint64) (*SeriesSet, error) {
-	out, err := Run(Spec{Benchmark: benchmark, Scheme: scheme, SampleInterval: interval})
-	if err != nil {
-		return nil, err
-	}
+// seriesFrom shapes a sampled outcome into its SeriesSet.
+func seriesFrom(benchmark, scheme string, interval uint64, out *Outcome) *SeriesSet {
 	return &SeriesSet{
 		Benchmark: benchmark,
 		Scheme:    scheme,
@@ -102,32 +133,56 @@ func runSeries(benchmark, scheme string, interval uint64) (*SeriesSet, error) {
 		Child:     out.Result.ChildCTASeries.Values,
 		Util:      out.Result.UtilSeries.Values,
 		Cycles:    uint64(out.Result.Cycles),
-	}, nil
+	}
+}
+
+// runSeries samples one benchmark/scheme with time series enabled.
+func runSeries(benchmark, scheme string, interval uint64) (*SeriesSet, error) {
+	out, err := Run(Spec{Benchmark: benchmark, Scheme: scheme, SampleInterval: interval})
+	if err != nil {
+		return nil, err
+	}
+	return seriesFrom(benchmark, scheme, interval, out), nil
 }
 
 // Fig6 renders the Baseline-DP CTA-concurrency/utilization timeline of
 // BFS-graph500 (the paper's Figure 6).
-func Fig6() (*SeriesSet, error) { return runSeries("BFS-graph500", SchemeBaseline, 1000) }
+func (p *Pool) Fig6() (*SeriesSet, error) {
+	out, err := p.RunSpec(Spec{Benchmark: "BFS-graph500", Scheme: SchemeBaseline, SampleInterval: 1000})
+	if err != nil {
+		return nil, err
+	}
+	return seriesFrom("BFS-graph500", SchemeBaseline, 1000, out), nil
+}
+
+// Fig6 is the serial form of (*Pool).Fig6.
+func Fig6() (*SeriesSet, error) { return Serial().Fig6() }
 
 // Fig7 measures speedup sensitivity to the child CTA size: 64, 128 and
 // 256 threads/CTA, normalized to 32 (the paper's Figure 7), under
 // Baseline-DP.
-func Fig7() (*Table, error) {
+func (p *Pool) Fig7() (*Table, error) {
 	t := &Table{
 		Title:   "Figure 7: performance sensitivity to child CTA size (normalized to 32 threads/CTA)",
 		Columns: []string{"CTA-64", "CTA-128", "CTA-256"},
 	}
-	for _, name := range workloads.Names() {
-		base, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline, ChildCTASize: 32})
-		if err != nil {
-			return nil, err
+	names := workloads.Names()
+	sizes := []int{32, 64, 128, 256}
+	var specs []Spec
+	for _, name := range names {
+		for _, size := range sizes {
+			specs = append(specs, Spec{Benchmark: name, Scheme: SchemeBaseline, ChildCTASize: size})
 		}
+	}
+	outs, err := p.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		group := outs[i*len(sizes) : (i+1)*len(sizes)]
+		base := group[0]
 		row := Row{Label: name}
-		for _, size := range []int{64, 128, 256} {
-			out, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline, ChildCTASize: size})
-			if err != nil {
-				return nil, err
-			}
+		for _, out := range group[1:] {
 			row.Values = append(row.Values, float64(base.Result.Cycles)/float64(out.Result.Cycles))
 		}
 		t.Rows = append(t.Rows, row)
@@ -135,24 +190,30 @@ func Fig7() (*Table, error) {
 	return t, nil
 }
 
+// Fig7 is the serial form of (*Pool).Fig7.
+func Fig7() (*Table, error) { return Serial().Fig7() }
+
 // Fig8 compares one SWQ per child kernel against one SWQ per parent CTA
 // (the paper's Figure 8), under Baseline-DP, reporting per-child-stream
 // speedup normalized to per-parent-CTA streams.
-func Fig8() (*Table, error) {
+func (p *Pool) Fig8() (*Table, error) {
 	t := &Table{
 		Title:   "Figure 8: per-child-kernel SWQ speedup over per-parent-CTA SWQ",
 		Columns: []string{"speedup"},
 	}
-	for _, name := range workloads.Names() {
-		perChild, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline})
-		if err != nil {
-			return nil, err
-		}
-		perCTA, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline,
-			StreamMode: kernel.StreamPerParentCTA})
-		if err != nil {
-			return nil, err
-		}
+	names := workloads.Names()
+	var specs []Spec
+	for _, name := range names {
+		specs = append(specs,
+			Spec{Benchmark: name, Scheme: SchemeBaseline},
+			Spec{Benchmark: name, Scheme: SchemeBaseline, StreamMode: kernel.StreamPerParentCTA})
+	}
+	outs, err := p.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		perChild, perCTA := outs[2*i], outs[2*i+1]
 		t.Rows = append(t.Rows, Row{
 			Label:  name,
 			Values: []float64{float64(perCTA.Result.Cycles) / float64(perChild.Result.Cycles)},
@@ -160,6 +221,9 @@ func Fig8() (*Table, error) {
 	}
 	return t, nil
 }
+
+// Fig8 is the serial form of (*Pool).Fig8.
+func Fig8() (*Table, error) { return Serial().Fig8() }
 
 // Fig12Result is the child-CTA execution-time PDF of one benchmark.
 type Fig12Result struct {
@@ -175,16 +239,21 @@ type Fig12Result struct {
 }
 
 // Fig12 reproduces the paper's Figure 12 for the four benchmarks shown.
-func Fig12() ([]*Fig12Result, error) {
-	var out []*Fig12Result
-	for _, name := range []string{"MM-small", "SA-thaliana", "BFS-graph500", "SSSP-graph500"} {
-		o, err := Run(Spec{Benchmark: name, Scheme: SchemeBaseline})
-		if err != nil {
-			return nil, err
-		}
-		h := o.Result.ChildCTAExec
+func (p *Pool) Fig12() ([]*Fig12Result, error) {
+	names := []string{"MM-small", "SA-thaliana", "BFS-graph500", "SSSP-graph500"}
+	specs := make([]Spec, len(names))
+	for i, name := range names {
+		specs[i] = Spec{Benchmark: name, Scheme: SchemeBaseline}
+	}
+	outs, err := p.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	var res []*Fig12Result
+	for i, name := range names {
+		h := outs[i].Result.ChildCTAExec
 		mean := h.Mean()
-		out = append(out, &Fig12Result{
+		res = append(res, &Fig12Result{
 			Benchmark: name,
 			Mean:      mean,
 			PDF:       h.PDF(0.5*mean, 1.5*mean, 20),
@@ -192,8 +261,11 @@ func Fig12() ([]*Fig12Result, error) {
 			N:         h.N(),
 		})
 	}
-	return out, nil
+	return res, nil
 }
+
+// Fig12 is the serial form of (*Pool).Fig12.
+func Fig12() ([]*Fig12Result, error) { return Serial().Fig12() }
 
 // MainComparison runs flat/baseline/offline/spawn for one benchmark and
 // feeds Figures 15-18.
@@ -205,37 +277,49 @@ type MainComparison struct {
 	Spawn     *Outcome
 }
 
-// CompareMain runs the three evaluated schemes plus flat.
-func CompareMain(benchmark string) (*MainComparison, error) {
-	mc := &MainComparison{Benchmark: benchmark}
-	var err error
-	if mc.Flat, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeFlat}); err != nil {
+// mainSchemes is the per-benchmark batch shape of CompareMain/CompareAll.
+var mainSchemes = []string{SchemeFlat, SchemeBaseline, SchemeOffline, SchemeSpawn}
+
+// compareBatch runs the four main schemes for each named benchmark as
+// one flat batch and reassembles per-benchmark comparisons.
+func (p *Pool) compareBatch(names []string) ([]*MainComparison, error) {
+	var specs []Spec
+	for _, name := range names {
+		for _, scheme := range mainSchemes {
+			specs = append(specs, Spec{Benchmark: name, Scheme: scheme})
+		}
+	}
+	outs, err := p.Run(specs)
+	if err != nil {
 		return nil, err
 	}
-	if mc.Baseline, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeBaseline}); err != nil {
-		return nil, err
+	mcs := make([]*MainComparison, len(names))
+	for i, name := range names {
+		g := outs[i*len(mainSchemes) : (i+1)*len(mainSchemes)]
+		mcs[i] = &MainComparison{Benchmark: name, Flat: g[0], Baseline: g[1], Offline: g[2], Spawn: g[3]}
 	}
-	if mc.Offline, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeOffline}); err != nil {
-		return nil, err
-	}
-	if mc.Spawn, err = Run(Spec{Benchmark: benchmark, Scheme: SchemeSpawn}); err != nil {
-		return nil, err
-	}
-	return mc, nil
+	return mcs, nil
 }
 
-// CompareAll runs CompareMain for every registry benchmark.
-func CompareAll() ([]*MainComparison, error) {
-	var out []*MainComparison
-	for _, name := range workloads.Names() {
-		mc, err := CompareMain(name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, mc)
+// CompareMain runs the three evaluated schemes plus flat.
+func (p *Pool) CompareMain(benchmark string) (*MainComparison, error) {
+	mcs, err := p.compareBatch([]string{benchmark})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return mcs[0], nil
 }
+
+// CompareMain is the serial form of (*Pool).CompareMain.
+func CompareMain(benchmark string) (*MainComparison, error) { return Serial().CompareMain(benchmark) }
+
+// CompareAll runs CompareMain for every registry benchmark.
+func (p *Pool) CompareAll() ([]*MainComparison, error) {
+	return p.compareBatch(workloads.Names())
+}
+
+// CompareAll is the serial form of (*Pool).CompareAll.
+func CompareAll() ([]*MainComparison, error) { return Serial().CompareAll() }
 
 // Fig15 renders speedups over flat (Baseline-DP, Offline-Search, SPAWN)
 // and appends the geometric means.
@@ -325,14 +409,20 @@ func Fig18(mcs []*MainComparison) *Table {
 
 // Fig19 renders the concurrent-CTA timelines of BFS-graph500 under
 // Baseline-DP and SPAWN.
-func Fig19() (baseline, spawnSeries *SeriesSet, err error) {
-	baseline, err = runSeries("BFS-graph500", SchemeBaseline, 1000)
+func (p *Pool) Fig19() (baseline, spawnSeries *SeriesSet, err error) {
+	outs, err := p.Run([]Spec{
+		{Benchmark: "BFS-graph500", Scheme: SchemeBaseline, SampleInterval: 1000},
+		{Benchmark: "BFS-graph500", Scheme: SchemeSpawn, SampleInterval: 1000},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	spawnSeries, err = runSeries("BFS-graph500", SchemeSpawn, 1000)
-	return baseline, spawnSeries, err
+	return seriesFrom("BFS-graph500", SchemeBaseline, 1000, outs[0]),
+		seriesFrom("BFS-graph500", SchemeSpawn, 1000, outs[1]), nil
 }
+
+// Fig19 is the serial form of (*Pool).Fig19.
+func Fig19() (baseline, spawnSeries *SeriesSet, err error) { return Serial().Fig19() }
 
 // Fig20Result carries the cumulative-launch CDFs of BFS-graph500.
 type Fig20Result struct {
@@ -343,20 +433,17 @@ type Fig20Result struct {
 }
 
 // Fig20 renders the CDF of child-kernel launches over time.
-func Fig20() (*Fig20Result, error) {
+func (p *Pool) Fig20() (*Fig20Result, error) {
 	const interval = 10_000
-	b, err := Run(Spec{Benchmark: "BFS-graph500", Scheme: SchemeBaseline})
+	outs, err := p.Run([]Spec{
+		{Benchmark: "BFS-graph500", Scheme: SchemeBaseline},
+		{Benchmark: "BFS-graph500", Scheme: SchemeOffline},
+		{Benchmark: "BFS-graph500", Scheme: SchemeSpawn},
+	})
 	if err != nil {
 		return nil, err
 	}
-	o, err := Run(Spec{Benchmark: "BFS-graph500", Scheme: SchemeOffline})
-	if err != nil {
-		return nil, err
-	}
-	s, err := Run(Spec{Benchmark: "BFS-graph500", Scheme: SchemeSpawn})
-	if err != nil {
-		return nil, err
-	}
+	b, o, s := outs[0], outs[1], outs[2]
 	return &Fig20Result{
 		Interval: interval,
 		Baseline: stats.CDF(cyclesToU64(b.Result.LaunchCycles), interval, uint64(b.Result.Cycles)),
@@ -364,6 +451,9 @@ func Fig20() (*Fig20Result, error) {
 		Spawn:    stats.CDF(cyclesToU64(s.Result.LaunchCycles), interval, uint64(s.Result.Cycles)),
 	}, nil
 }
+
+// Fig20 is the serial form of (*Pool).Fig20.
+func Fig20() (*Fig20Result, error) { return Serial().Fig20() }
 
 // cyclesToU64 converts typed cycle stamps to the raw-integer form the
 // stats boundary expects.
@@ -377,29 +467,33 @@ func cyclesToU64(cs []kernel.Cycle) []uint64 {
 
 // Fig21 compares SPAWN against DTBL on the paper's six workloads,
 // normalized to flat.
-func Fig21() (*Table, error) {
+func (p *Pool) Fig21() (*Table, error) {
 	t := &Table{
 		Title:   "Figure 21: SPAWN vs DTBL (speedup over flat)",
 		Columns: []string{"SPAWN", "DTBL"},
 	}
-	for _, name := range []string{"SA-thaliana", "SA-elegans", "MM-small", "MM-large", "SSSP-citation", "SSSP-graph500"} {
-		flat, err := Run(Spec{Benchmark: name, Scheme: SchemeFlat})
-		if err != nil {
-			return nil, err
+	names := []string{"SA-thaliana", "SA-elegans", "MM-small", "MM-large", "SSSP-citation", "SSSP-graph500"}
+	schemes := []string{SchemeFlat, SchemeSpawn, SchemeDTBL}
+	var specs []Spec
+	for _, name := range names {
+		for _, scheme := range schemes {
+			specs = append(specs, Spec{Benchmark: name, Scheme: scheme})
 		}
-		sp, err := Run(Spec{Benchmark: name, Scheme: SchemeSpawn})
-		if err != nil {
-			return nil, err
-		}
-		dt, err := Run(Spec{Benchmark: name, Scheme: SchemeDTBL})
-		if err != nil {
-			return nil, err
-		}
-		fb := float64(flat.Result.Cycles)
+	}
+	outs, err := p.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		g := outs[i*len(schemes) : (i+1)*len(schemes)]
+		fb := float64(g[0].Result.Cycles)
 		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{
-			fb / float64(sp.Result.Cycles),
-			fb / float64(dt.Result.Cycles),
+			fb / float64(g[1].Result.Cycles),
+			fb / float64(g[2].Result.Cycles),
 		}})
 	}
 	return t, nil
 }
+
+// Fig21 is the serial form of (*Pool).Fig21.
+func Fig21() (*Table, error) { return Serial().Fig21() }

@@ -1,0 +1,326 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	gort "runtime"
+	"sync"
+)
+
+// Pool is the harness's deterministic worker-pool sweep engine. It
+// executes a slice of Specs concurrently and assembles the outcomes in
+// submission order, so every CSV, table, and best-threshold selection
+// derived from a pool batch is byte-identical to the serial result
+// regardless of worker count.
+//
+// The determinism contract (DESIGN.md §5):
+//
+//   - Outcomes are returned indexed by submission position, never by
+//     completion order.
+//   - Each run is independently deterministic (own simulator, own
+//     metrics registry, own fault-plan copy), so reordering execution
+//     cannot change any individual Outcome.
+//   - Reductions over a batch (Offline-Search's winner, sweep failure
+//     lists) fold over the submission order and break ties by value
+//     (betterOutcome), not by arrival.
+//   - Observer callbacks are serialized through a single collector
+//     goroutine: they never run concurrently, but with Workers > 1
+//     their order follows completion, not submission. Observers must
+//     therefore key any output they write by run identity (benchmark,
+//     scheme), never by call sequence.
+//
+// Workers == 1 runs every spec inline on the calling goroutine in
+// submission order — bit-for-bit the pre-pool serial path.
+type Pool struct {
+	// Workers bounds the number of concurrent simulations.
+	// 0 means runtime.GOMAXPROCS(0); 1 reproduces the serial path.
+	Workers int
+	// Context, when non-nil, cancels the whole batch cooperatively;
+	// in-flight simulations abort with partial results and queued specs
+	// are skipped.
+	Context context.Context
+	// Observer receives every completed Outcome (sweep candidates
+	// included) for specs that do not carry their own Spec.Observer.
+	// Calls are serialized; see the contract above.
+	Observer func(*Outcome)
+	// Defaults is applied to every spec that does not carry its own
+	// Spec.Defaults, immediately before simulation.
+	Defaults func(*Spec)
+}
+
+// Serial returns a single-worker pool: the exact serial execution path,
+// usable wherever a *Pool is expected.
+func Serial() *Pool { return &Pool{Workers: 1} }
+
+func (p *Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return gort.GOMAXPROCS(0)
+}
+
+func (p *Pool) context() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
+}
+
+// adopt fills the pool-provided fallbacks into a spec: defaults,
+// observer, and — when the spec carries no Context of its own — the
+// batch context.
+func (p *Pool) adopt(s Spec, ctx context.Context) Spec {
+	if s.Defaults == nil {
+		s.Defaults = p.Defaults
+	}
+	if s.Observer == nil {
+		s.Observer = p.Observer
+	}
+	if s.Context == nil {
+		s.Context = ctx
+	}
+	return s
+}
+
+// runAny dispatches one adopted spec: offline specs expand into a
+// serial sweep inside the worker (their candidates inherit the adopted
+// observer/defaults/context, so collector serialization still holds),
+// everything else is a single run.
+func runAny(spec Spec) (*Outcome, error) {
+	if spec.Scheme == SchemeOffline {
+		return (&Pool{Workers: 1, Context: spec.Context}).OfflineSearch(spec)
+	}
+	return runSpec(spec)
+}
+
+// RunSpec executes one spec through the pool: a plain spec runs once;
+// an offline spec fans its threshold sweep out across the workers.
+func (p *Pool) RunSpec(spec Spec) (*Outcome, error) {
+	if spec.Scheme == SchemeOffline {
+		return p.OfflineSearch(spec)
+	}
+	return runSpec(p.adopt(spec, p.context()))
+}
+
+// Run executes the specs and returns their outcomes in submission
+// order, failing fast: the first hard error cancels the remaining
+// workers (in-flight runs abort, queued specs are skipped) and is
+// returned. With Workers == 1 this is exactly the serial
+// run-until-first-error loop.
+func (p *Pool) Run(specs []Spec) ([]*Outcome, error) {
+	outs, _, hard := p.runBatch(specs, true)
+	if hard != nil {
+		return nil, hard
+	}
+	return outs, nil
+}
+
+// Sweep executes the specs and returns outcomes and errors in
+// submission order. Individual failures do not cancel the batch — this
+// is the mode Offline-Search uses, where a failed candidate is recorded
+// and skipped. Only the pool's Context cancels outstanding work.
+func (p *Pool) Sweep(specs []Spec) ([]*Outcome, []error) {
+	outs, errs, _ := p.runBatch(specs, false)
+	return outs, errs
+}
+
+// runBatch is the engine under Run and Sweep. outs[i] and errs[i]
+// always describe specs[i]. When stopOnErr is set, the first error (in
+// submission order for the serial path, completion order otherwise)
+// cancels the batch and is returned as hard.
+func (p *Pool) runBatch(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []error, hard error) {
+	outs = make([]*Outcome, len(specs))
+	errs = make([]error, len(specs))
+	if len(specs) == 0 {
+		return outs, errs, nil
+	}
+	if n := p.workers(); n <= 1 || len(specs) == 1 {
+		return p.runSerial(specs, stopOnErr)
+	}
+	return p.runParallel(specs, stopOnErr)
+}
+
+// runSerial executes the batch inline on the calling goroutine: the
+// bit-for-bit serial reference path. Observers fire directly, in
+// submission order.
+func (p *Pool) runSerial(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []error, hard error) {
+	outs = make([]*Outcome, len(specs))
+	errs = make([]error, len(specs))
+	ctx := p.context()
+	for i := range specs {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			if stopOnErr {
+				return outs, errs, err
+			}
+			continue
+		}
+		out, err := runAny(p.adopt(specs[i], ctx))
+		outs[i], errs[i] = out, err
+		if err != nil && stopOnErr {
+			return outs, errs, err
+		}
+	}
+	return outs, errs, nil
+}
+
+// obsEvent carries one completed outcome to the collector goroutine.
+type obsEvent struct {
+	obs func(*Outcome)
+	out *Outcome
+}
+
+// runParallel fans the batch out over min(Workers, len(specs)) worker
+// goroutines. Every observer callback is forwarded to one collector
+// goroutine, so user observers never run concurrently with each other.
+func (p *Pool) runParallel(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []error, hard error) {
+	outs = make([]*Outcome, len(specs))
+	errs = make([]error, len(specs))
+
+	n := p.workers()
+	if n > len(specs) {
+		n = len(specs)
+	}
+	runCtx, cancel := context.WithCancel(p.context())
+	defer cancel()
+
+	obsCh := make(chan obsEvent, n)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for e := range obsCh {
+			e.obs(e.out)
+		}
+	}()
+
+	var mu sync.Mutex // guards hard
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := runCtx.Err(); err != nil {
+					errs[i] = err // indices are handed out once: no write race
+					continue
+				}
+				s := p.adopt(specs[i], runCtx)
+				var stop context.CancelFunc
+				if s.Context != runCtx {
+					// The spec brought its own context; honor both it and
+					// the batch cancellation.
+					s.Context, stop = mergedContext(s.Context, runCtx)
+				}
+				if obs := observerFor(&s); obs != nil {
+					s.Observer = func(o *Outcome) { obsCh <- obsEvent{obs, o} }
+				}
+				out, err := runAny(s)
+				if stop != nil {
+					stop()
+				}
+				outs[i], errs[i] = out, err
+				if err != nil && stopOnErr {
+					mu.Lock()
+					if hard == nil {
+						hard = err
+						cancel()
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(obsCh)
+	<-collectorDone
+	if stopOnErr && hard == nil {
+		// External cancellation can skip queued specs without any run
+		// reporting the triggering error; surface the first recorded one
+		// so a fail-fast batch never reports success with holes in it.
+		for _, err := range errs {
+			if err != nil {
+				hard = err
+				break
+			}
+		}
+	}
+	return outs, errs, hard
+}
+
+// mergedContext returns a context canceled when either parent is. The
+// second parent's cancellation is forwarded; its cause is reported as
+// context.Canceled.
+func mergedContext(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(primary)
+	stop := context.AfterFunc(secondary, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}
+
+// OfflineSearch is the pool-backed Offline-Search: the Figure 5
+// threshold candidates run across the workers, and the winner is
+// reduced over the submission order with a deterministic tie-break
+// (betterOutcome), so any worker count crowns the serial winner. A
+// failing candidate is recorded in the winning Outcome's Failures list
+// (submission order) rather than aborting the sweep; the search errors
+// only when every candidate fails.
+func (p *Pool) OfflineSearch(spec Spec) (*Outcome, error) {
+	spec = p.adopt(spec, p.context())
+	app, err := spec.buildApp()
+	if err != nil {
+		return nil, err
+	}
+	ts := SweepThresholds(app)
+	candidates := make([]Spec, len(ts))
+	for i, t := range ts {
+		s := spec
+		s.Scheme = fmt.Sprintf("threshold:%d", t)
+		// Observability attaches only to the winning run below, not to
+		// every sweep candidate: sinks would interleave unrelated runs
+		// and the registry would keep only the last candidate anyway.
+		s.Metrics, s.TraceSinks = nil, nil
+		candidates[i] = s
+	}
+	outs, errs := p.Sweep(candidates)
+
+	var best *Outcome
+	var failures []RunFailure
+	for i := range candidates {
+		if errs[i] != nil {
+			failures = append(failures, RunFailure{Scheme: candidates[i].Scheme, Err: errs[i]})
+			continue
+		}
+		if betterOutcome(outs[i], best) {
+			best = outs[i]
+		}
+	}
+	if best == nil {
+		if len(failures) > 0 {
+			return nil, fmt.Errorf("harness: offline search for %s: all %d candidates failed (first: %w)",
+				spec.Benchmark, len(failures), failures[0].Err)
+		}
+		return nil, fmt.Errorf("harness: offline search found no candidates for %s", spec.Benchmark)
+	}
+	if spec.Metrics != nil || len(spec.TraceSinks) > 0 {
+		s := spec
+		s.Scheme = fmt.Sprintf("threshold:%d", best.Threshold)
+		out, err := runSpec(s)
+		if err != nil {
+			// The instrumented re-run of the winner failed (possible under
+			// chaos); keep the uninstrumented result and record it.
+			failures = append(failures, RunFailure{Scheme: s.Scheme, Err: err})
+		} else {
+			best = out
+		}
+	}
+	best.Spec.Scheme = SchemeOffline
+	best.Failures = failures
+	return best, nil
+}

@@ -26,8 +26,12 @@ import (
 // RunObserver, when non-nil, receives every completed Outcome, including
 // the intermediate runs of sweeps (Offline-Search, Figure 5). When set,
 // runs without a caller-supplied Spec.Metrics registry get a fresh one,
-// so the observer always sees a metrics snapshot. cmd/experiments uses
-// this to dump per-run metrics alongside the figure CSVs.
+// so the observer always sees a metrics snapshot.
+//
+// Deprecated: package-global state is unsafe under the parallel sweep
+// engine (Pool). Set Spec.Observer or Pool.Observer instead; this global
+// remains as a shim and is only consulted for specs whose Observer field
+// is nil. It must not be mutated while runs are in flight.
 var RunObserver func(*Outcome)
 
 // SpecDefaults, when non-nil, is applied to every spec immediately
@@ -35,6 +39,11 @@ var RunObserver func(*Outcome)
 // builds internally — so process-wide settings (wall-clock deadlines,
 // chaos plans, cycle budgets from command-line flags) reach runs whose
 // Spec the caller never constructs directly.
+//
+// Deprecated: package-global state is unsafe under the parallel sweep
+// engine (Pool). Set Spec.Defaults or Pool.Defaults instead; this global
+// remains as a shim and is only consulted for specs whose Defaults field
+// is nil. It must not be mutated while runs are in flight.
 var SpecDefaults func(*Spec)
 
 // Scheme names accepted by Run.
@@ -51,6 +60,11 @@ const (
 type Spec struct {
 	Benchmark string
 	Scheme    string
+	// MakePolicy, when non-nil, builds the launch policy and bypasses
+	// Scheme resolution. It is called once per attempt, so retried runs
+	// start from a fresh policy instead of one carrying state from the
+	// failed attempt. The Pool uses this for ablation variants.
+	MakePolicy func(config.GPU) kernel.Policy
 	// ChildCTASize overrides the app's child CTA dimension (Figure 7).
 	ChildCTASize int
 	// StreamMode selects SWQ assignment (Figure 8).
@@ -65,8 +79,20 @@ type Spec struct {
 	// keeps ownership: the harness never closes them.
 	TraceSinks []trace.Sink
 	// Metrics, when non-nil, is instrumented into the simulator and
-	// snapshotted into Outcome.Metrics after the run.
+	// snapshotted into Outcome.Metrics after the run. A registry must
+	// not be shared between specs that run concurrently in a Pool.
 	Metrics *metrics.Registry
+	// Observer, when non-nil, receives this run's completed Outcome,
+	// including the intermediate runs of sweeps derived from this spec.
+	// Like the deprecated RunObserver global, it forces a fresh metrics
+	// registry when the spec carries none. A Pool serializes observer
+	// callbacks through one collector goroutine, so the callback never
+	// needs its own locking.
+	Observer func(*Outcome)
+	// Defaults, when non-nil, is applied to the spec (and every sweep
+	// candidate derived from it) immediately before simulation — the
+	// per-spec replacement for the deprecated SpecDefaults global.
+	Defaults func(*Spec)
 	// Heartbeat, when non-nil, receives periodic progress callbacks
 	// every HeartbeatEvery cycles (simulator default when zero).
 	Heartbeat      func(sim.Progress)
@@ -84,7 +110,9 @@ type Spec struct {
 	// CheckInvariants enables the simulator's conservation-law auditor.
 	CheckInvariants bool
 	// FaultPlan, when non-nil and non-zero, runs the simulation under
-	// deterministic chaos injection (see internal/faults).
+	// deterministic chaos injection (see internal/faults). The harness
+	// never mutates the caller's plan: every attempt works on its own
+	// copy, and the Outcome stores a private copy too.
 	FaultPlan *faults.Plan
 	// Retries is how many additional attempts a transient failure —
 	// an abort or recovered panic under an active fault plan — gets,
@@ -103,7 +131,7 @@ type Outcome struct {
 	// Trace holds recorded simulator events when Spec.TraceEvents > 0.
 	Trace *trace.Ring
 	// Metrics is the end-of-run registry snapshot when metrics were
-	// enabled (Spec.Metrics or RunObserver), nil otherwise.
+	// enabled (Spec.Metrics or an observer), nil otherwise.
 	Metrics *metrics.Snapshot
 	// FaultsInjected counts the chaos injections of the run (0 when no
 	// fault plan was active).
@@ -127,6 +155,23 @@ func (s Spec) config() config.GPU {
 	return config.K20m()
 }
 
+// owned returns the spec with its pointer fields (Config, FaultPlan)
+// replaced by private copies, so an Outcome records the run as it was
+// configured even if the caller mutates its structs afterwards — and so
+// the harness can never alias a caller's *faults.Plan from a stored
+// Outcome. Metrics and TraceSinks stay shared: the caller owns those.
+func (s Spec) owned() Spec {
+	if s.Config != nil {
+		cfg := *s.Config
+		s.Config = &cfg
+	}
+	if s.FaultPlan != nil {
+		p := *s.FaultPlan
+		s.FaultPlan = &p
+	}
+	return s
+}
+
 // buildApp materializes the benchmark's app with the spec's overrides.
 func (s Spec) buildApp() (*workloads.App, error) {
 	b, err := workloads.ByName(s.Benchmark)
@@ -141,6 +186,27 @@ func (s Spec) buildApp() (*workloads.App, error) {
 		return nil, err
 	}
 	return app, nil
+}
+
+// applyDefaults runs the spec's Defaults hook, falling back to the
+// deprecated SpecDefaults global when the spec carries none. Exactly one
+// of the two fires, exactly once per run.
+func applyDefaults(s *Spec) {
+	switch {
+	case s.Defaults != nil:
+		s.Defaults(s)
+	case SpecDefaults != nil:
+		SpecDefaults(s)
+	}
+}
+
+// observerFor resolves the spec's effective observer: the per-spec field
+// first, then the deprecated global shim.
+func observerFor(s *Spec) func(*Outcome) {
+	if s.Observer != nil {
+		return s.Observer
+	}
+	return RunObserver
 }
 
 // policyFor resolves the scheme to a launch policy. Threshold-bearing
@@ -171,20 +237,7 @@ func Run(spec Spec) (*Outcome, error) {
 	if spec.Scheme == SchemeOffline {
 		return OfflineSearch(spec)
 	}
-	app, err := spec.buildApp()
-	if err != nil {
-		return nil, err
-	}
-	cfg := spec.config()
-	pol, thr, err := policyFor(spec.Scheme, app, cfg)
-	if err != nil {
-		return nil, err
-	}
-	out, err := RunWithPolicy(spec, cfg, pol)
-	if out != nil {
-		out.Threshold = thr
-	}
-	return out, err
+	return runSpec(spec)
 }
 
 // RunWithPolicy executes the spec's benchmark under a caller-supplied
@@ -193,13 +246,43 @@ func Run(spec Spec) (*Outcome, error) {
 // fault plan are retried up to Spec.Retries times with derived seeds.
 // An aborted run returns its partial *Outcome alongside the error, so
 // callers can still flush sinks and inspect progress.
+//
+// The same policy instance serves every retry attempt; a policy that
+// must start each attempt fresh should be submitted via Spec.MakePolicy
+// instead.
 func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, error) {
-	if SpecDefaults != nil {
-		SpecDefaults(&spec)
-	}
+	spec.Config = &cfg
+	spec.MakePolicy = func(config.GPU) kernel.Policy { return pol }
+	return runSpec(spec)
+}
+
+// runSpec is the single-run engine behind Run and RunWithPolicy: it
+// applies the spec's defaults, resolves the policy (building a fresh
+// instance per attempt unless the caller pinned one), and drives the
+// retry loop.
+func runSpec(spec Spec) (*Outcome, error) {
+	applyDefaults(&spec)
 	app, err := spec.buildApp()
 	if err != nil {
 		return nil, err
+	}
+	cfg := spec.config()
+	makePol := spec.MakePolicy
+	thr := -1
+	if makePol == nil {
+		// Validate the scheme (and learn its threshold) once up front;
+		// the per-attempt factory re-resolves so retries get a policy
+		// with no state left over from the failed attempt.
+		_, t, perr := policyFor(spec.Scheme, app, cfg)
+		if perr != nil {
+			return nil, perr
+		}
+		thr = t
+		scheme := spec.Scheme
+		makePol = func(cfg config.GPU) kernel.Policy {
+			pol, _, _ := policyFor(scheme, app, cfg)
+			return pol
+		}
 	}
 	def, err := workloads.ParentDef(app)
 	if err != nil {
@@ -208,14 +291,20 @@ func RunWithPolicy(spec Spec, cfg config.GPU, pol kernel.Policy) (*Outcome, erro
 	var lastOut *Outcome
 	var lastErr error
 	for attempt := 0; attempt <= spec.Retries; attempt++ {
-		out, err := runOnce(spec, cfg, pol, app, def, attempt)
+		out, err := runOnce(spec, cfg, makePol(cfg), app, def, attempt)
 		if err == nil {
+			if thr >= 0 {
+				out.Threshold = thr
+			}
 			return out, nil
 		}
 		lastOut, lastErr = out, err
 		if !retryable(spec, err) {
 			break
 		}
+	}
+	if lastOut != nil && thr >= 0 {
+		lastOut.Threshold = thr
 	}
 	return lastOut, lastErr
 }
@@ -257,6 +346,8 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 	}()
 	var inj *faults.Injector
 	if spec.FaultPlan != nil && !spec.FaultPlan.Zero() {
+		// Deep-copy the plan for this attempt: the retry-seed derivation
+		// must never write through the caller's *faults.Plan.
 		p := *spec.FaultPlan
 		p.Seed = retrySeed(p.Seed, attempt)
 		if inj, err = faults.New(p); err != nil {
@@ -267,8 +358,9 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 	if spec.TraceEvents > 0 {
 		ring = trace.New(spec.TraceEvents)
 	}
+	observer := observerFor(&spec)
 	reg := spec.Metrics
-	if reg == nil && RunObserver != nil {
+	if reg == nil && observer != nil {
 		reg = metrics.NewRegistry()
 	}
 	g, err := sim.NewChecked(sim.Options{
@@ -299,7 +391,7 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		}
 	}
 	out = &Outcome{
-		Spec:           spec,
+		Spec:           spec.owned(),
 		Threshold:      -1,
 		Result:         res,
 		TotalWork:      app.TotalWork(),
@@ -313,8 +405,8 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 	if runErr != nil {
 		return out, err
 	}
-	if RunObserver != nil {
-		RunObserver(out)
+	if observer != nil {
+		observer(out)
 	}
 	return out, nil
 }
@@ -339,54 +431,25 @@ func SweepThresholds(app *workloads.App) []int {
 	return out
 }
 
+// betterOutcome reports whether a beats b as the Offline-Search winner.
+// Fewer cycles win; on exactly equal cycles the lower static threshold
+// wins, so serial and parallel sweeps — whatever order their candidates
+// complete in — always crown the same configuration.
+func betterOutcome(a, b *Outcome) bool {
+	if b == nil {
+		return true
+	}
+	if a.Result.Cycles != b.Result.Cycles {
+		return a.Result.Cycles < b.Result.Cycles
+	}
+	return a.Threshold < b.Threshold
+}
+
 // OfflineSearch exhaustively sweeps the Figure 5 thresholds and returns
 // the best-performing static configuration (the paper's Offline-Search).
 // A failing candidate does not abort the sweep: it is skipped and
 // recorded in the winning Outcome's Failures list. The search errors
 // only when every candidate fails.
 func OfflineSearch(spec Spec) (*Outcome, error) {
-	app, err := spec.buildApp()
-	if err != nil {
-		return nil, err
-	}
-	var best *Outcome
-	var failures []RunFailure
-	for _, t := range SweepThresholds(app) {
-		s := spec
-		s.Scheme = fmt.Sprintf("threshold:%d", t)
-		// Observability attaches only to the winning run below, not to
-		// every sweep candidate: sinks would interleave unrelated runs
-		// and the registry would keep only the last candidate anyway.
-		s.Metrics, s.TraceSinks = nil, nil
-		out, err := Run(s)
-		if err != nil {
-			failures = append(failures, RunFailure{Scheme: s.Scheme, Err: err})
-			continue
-		}
-		if best == nil || out.Result.Cycles < best.Result.Cycles {
-			best = out
-		}
-	}
-	if best == nil {
-		if len(failures) > 0 {
-			return nil, fmt.Errorf("harness: offline search for %s: all %d candidates failed (first: %w)",
-				spec.Benchmark, len(failures), failures[0].Err)
-		}
-		return nil, fmt.Errorf("harness: offline search found no candidates for %s", spec.Benchmark)
-	}
-	if spec.Metrics != nil || len(spec.TraceSinks) > 0 {
-		s := spec
-		s.Scheme = fmt.Sprintf("threshold:%d", best.Threshold)
-		out, err := Run(s)
-		if err != nil {
-			// The instrumented re-run of the winner failed (possible under
-			// chaos); keep the uninstrumented result and record it.
-			failures = append(failures, RunFailure{Scheme: s.Scheme, Err: err})
-		} else {
-			best = out
-		}
-	}
-	best.Spec.Scheme = SchemeOffline
-	best.Failures = failures
-	return best, nil
+	return Serial().OfflineSearch(spec)
 }
