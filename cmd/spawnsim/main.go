@@ -156,6 +156,18 @@ func main() {
 	// The pool only matters for sweep schemes (offline): candidates fan
 	// out across -parallel workers with byte-identical results.
 	pool := &harness.Pool{Workers: *parallel, Context: ctx}
+	if *heartbeatN > 0 {
+		// Sweep-level progress rides the heartbeat flag: per-candidate
+		// start/finish lines on stderr, serialized by the pool collector.
+		pool.Progress = func(p harness.PoolProgress) {
+			verb := "done "
+			if p.Started {
+				verb = "start"
+			}
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s %s/%s (worker %d)\n",
+				p.Done, p.Total, verb, p.Benchmark, p.Scheme, p.Worker)
+		}
+	}
 	out, err := pool.RunSpec(spec)
 
 	// Close sinks before checking the run error so partial traces are

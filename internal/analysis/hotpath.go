@@ -16,7 +16,10 @@ import (
 //   - implicit interface conversions (boxing) at call argument
 //     positions — the classic container/heap tax;
 //   - calls through func-typed struct fields (observability and fault
-//     hooks) without a dominating `field != nil` guard.
+//     hooks) without a dominating `field != nil` guard;
+//   - calls into internal/profile that are not one of its nil-safe,
+//     allocation-free accumulators (profileHotCalls): report assembly
+//     and serialization belong after the run, never in the tick loop.
 //
 // Code on cold sub-paths — arguments to panic, expressions inside
 // return statements — is exempt: abort and invariant reporting may
@@ -26,13 +29,26 @@ func HotPathAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:      "hotpath",
 		Doc:       "flag allocations, formatting, boxing, and unguarded hook calls in per-cycle call trees",
-		AppliesTo: pathWithin("internal/sim"),
+		AppliesTo: pathWithin("internal/sim", "internal/profile"),
 		Run:       runHotPath,
 	}
 }
 
 // hotRootNames are implicit hot-path roots.
 var hotRootNames = map[string]bool{"Run": true, "Tick": true, "Cycle": true}
+
+// profilePkgSuffix identifies the cycle-attribution package in import
+// paths (matched by suffix so the rule is module-name agnostic).
+const profilePkgSuffix = "internal/profile"
+
+// profileHotCalls are the internal/profile methods sanctioned on the
+// per-cycle path: each is nil-receiver-safe and allocation-free (EndTick
+// amortizes timeline growth). Everything else in the package — Report,
+// New, the writers — is finalization-time API.
+var profileHotCalls = map[string]bool{
+	"Note": true, "EndTick": true, "SkipTo": true, "SampleDue": true,
+	"KernelSite": true, "Finish": true, "Record": true,
+}
 
 // fmtFormatting lists the fmt functions that allocate on every call.
 var fmtFormatting = map[string]bool{
@@ -144,10 +160,22 @@ func checkHotCall(pass *Pass, fnName string, call *ast.CallExpr, stack []ast.Nod
 		return
 	}
 	if obj := calleeObject(info, call); obj != nil {
-		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
-			fn.Pkg().Path() == "fmt" && fmtFormatting[fn.Name()] {
-			pass.Reportf(call.Pos(), "fmt.%s in hot path (%s call tree); format on abort/error paths only", fn.Name(), fnName)
-			return
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "fmt" && fmtFormatting[fn.Name()] {
+				pass.Reportf(call.Pos(), "fmt.%s in hot path (%s call tree); format on abort/error paths only", fn.Name(), fnName)
+				return
+			}
+			// Profile accounting: only the nil-safe accumulators may
+			// appear in tick loops. Calls inside internal/profile itself
+			// are exempt — its internal helpers are vetted as part of
+			// this package's own hot set.
+			if fn.Pkg().Path() != pass.Pkg.Types.Path() &&
+				pathWithin(profilePkgSuffix)(fn.Pkg().Path()) && !profileHotCalls[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"profile.%s in hot path (%s call tree); only nil-safe accumulators (Note, EndTick, SkipTo, SampleDue, KernelSite, Finish, Record) may run per cycle",
+					fn.Name(), fnName)
+				return
+			}
 		}
 	}
 

@@ -3,7 +3,11 @@
 // the closed call graph.
 package hotpath
 
-import "fmt"
+import (
+	"fmt"
+
+	"spawnsim/internal/profile"
+)
 
 // Engine is a toy per-cycle engine with an optional observability hook.
 type Engine struct {
@@ -49,6 +53,18 @@ func (e *Engine) Cycle(now int) string {
 	}
 	e.count++
 	return ""
+}
+
+// Account exercises the profile-accounting rule: the nil-safe
+// accumulators pass, report assembly inside the tick loop does not.
+//
+//spawnvet:hotpath
+func (e *Engine) Account(p *profile.Profile, now uint64) {
+	p.Note(profile.CompGMU, profile.StateBusy) // accumulator: not flagged
+	if p.SampleDue(now) {                      // accumulator: not flagged
+		e.count++
+	}
+	_ = p.Report() // flagged: finalization API per cycle
 }
 
 // Cold is never reached from a root: nothing inside is flagged.

@@ -46,6 +46,33 @@ type Pool struct {
 	// Defaults is applied to every spec that does not carry its own
 	// Spec.Defaults, immediately before simulation.
 	Defaults func(*Spec)
+	// Progress, when non-nil, receives sweep-level progress: one Started
+	// event when a worker picks a spec up and one completion event when
+	// it finishes. Calls are serialized through the same collector
+	// goroutine as Observer, so the callback needs no locking and Done
+	// counts are monotone. Specs skipped by batch cancellation report
+	// nothing. With Workers > 1 the interleaving of events across specs
+	// follows execution, so progress is inherently non-deterministic
+	// output — callers must keep it out of result artifacts (stderr
+	// heartbeats, status lines).
+	Progress func(PoolProgress)
+}
+
+// PoolProgress is one sweep-level progress event (see Pool.Progress).
+type PoolProgress struct {
+	// Done is how many of the batch's specs have completed (success or
+	// failure) at the time of the event.
+	Done int
+	// Total is the batch size.
+	Total int
+	// Worker identifies the worker goroutine running the spec (0-based;
+	// always 0 on the serial path).
+	Worker int
+	// Benchmark and Scheme identify the spec.
+	Benchmark string
+	Scheme    string
+	// Started is true for pick-up events, false for completions.
+	Started bool
 }
 
 // Serial returns a single-worker pool: the exact serial execution path,
@@ -141,12 +168,13 @@ func (p *Pool) runBatch(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []e
 }
 
 // runSerial executes the batch inline on the calling goroutine: the
-// bit-for-bit serial reference path. Observers fire directly, in
-// submission order.
+// bit-for-bit serial reference path. Observers and progress callbacks
+// fire directly, in submission order.
 func (p *Pool) runSerial(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []error, hard error) {
 	outs = make([]*Outcome, len(specs))
 	errs = make([]error, len(specs))
 	ctx := p.context()
+	done := 0
 	for i := range specs {
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
@@ -155,8 +183,17 @@ func (p *Pool) runSerial(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []
 			}
 			continue
 		}
+		if p.Progress != nil {
+			p.Progress(PoolProgress{Done: done, Total: len(specs),
+				Benchmark: specs[i].Benchmark, Scheme: specs[i].Scheme, Started: true})
+		}
 		out, err := runAny(p.adopt(specs[i], ctx))
 		outs[i], errs[i] = out, err
+		done++
+		if p.Progress != nil {
+			p.Progress(PoolProgress{Done: done, Total: len(specs),
+				Benchmark: specs[i].Benchmark, Scheme: specs[i].Scheme})
+		}
 		if err != nil && stopOnErr {
 			return outs, errs, err
 		}
@@ -164,10 +201,12 @@ func (p *Pool) runSerial(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []
 	return outs, errs, nil
 }
 
-// obsEvent carries one completed outcome to the collector goroutine.
+// obsEvent carries one completed outcome or one progress update to the
+// collector goroutine. Exactly one of (obs, prog) is set.
 type obsEvent struct {
-	obs func(*Outcome)
-	out *Outcome
+	obs  func(*Outcome)
+	out  *Outcome
+	prog *PoolProgress
 }
 
 // runParallel fans the batch out over min(Workers, len(specs)) worker
@@ -188,7 +227,20 @@ func (p *Pool) runParallel(specs []Spec, stopOnErr bool) (outs []*Outcome, errs 
 	collectorDone := make(chan struct{})
 	go func() {
 		defer close(collectorDone)
+		// The collector owns the completion count: workers report raw
+		// events and Done is filled in here, so it is monotone even
+		// though workers finish in arbitrary order.
+		done := 0
 		for e := range obsCh {
+			if e.prog != nil {
+				pr := *e.prog
+				if !pr.Started {
+					done++
+				}
+				pr.Done = done
+				p.Progress(pr)
+				continue
+			}
 			e.obs(e.out)
 		}
 	}()
@@ -198,7 +250,7 @@ func (p *Pool) runParallel(specs []Spec, stopOnErr bool) (outs []*Outcome, errs 
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
 				if err := runCtx.Err(); err != nil {
@@ -213,13 +265,21 @@ func (p *Pool) runParallel(specs []Spec, stopOnErr bool) (outs []*Outcome, errs 
 					s.Context, stop = mergedContext(s.Context, runCtx)
 				}
 				if obs := observerFor(&s); obs != nil {
-					s.Observer = func(o *Outcome) { obsCh <- obsEvent{obs, o} }
+					s.Observer = func(o *Outcome) { obsCh <- obsEvent{obs: obs, out: o} }
+				}
+				if p.Progress != nil {
+					obsCh <- obsEvent{prog: &PoolProgress{Total: len(specs), Worker: worker,
+						Benchmark: s.Benchmark, Scheme: s.Scheme, Started: true}}
 				}
 				out, err := runAny(s)
 				if stop != nil {
 					stop()
 				}
 				outs[i], errs[i] = out, err
+				if p.Progress != nil {
+					obsCh <- obsEvent{prog: &PoolProgress{Total: len(specs), Worker: worker,
+						Benchmark: s.Benchmark, Scheme: s.Scheme}}
+				}
 				if err != nil && stopOnErr {
 					mu.Lock()
 					if hard == nil {
@@ -229,7 +289,7 @@ func (p *Pool) runParallel(specs []Spec, stopOnErr bool) (outs []*Outcome, errs 
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range specs {
 		jobs <- i

@@ -16,6 +16,7 @@ import (
 	"spawnsim/internal/dtbl"
 	"spawnsim/internal/faults"
 	"spawnsim/internal/metrics"
+	"spawnsim/internal/profile"
 	"spawnsim/internal/runtime"
 	"spawnsim/internal/sim"
 	"spawnsim/internal/sim/kernel"
@@ -109,6 +110,15 @@ type Spec struct {
 	MaxCycles uint64
 	// CheckInvariants enables the simulator's conservation-law auditor.
 	CheckInvariants bool
+	// Profile, when non-nil, enables the cycle-attribution profiler
+	// (internal/profile) for this run: per-component activity counters,
+	// idle-run-length histograms, kernel-lifecycle spans, and a sampled
+	// queue/occupancy timeline, snapshotted into Outcome.Profile. The
+	// profiler observes the run without altering any other artifact —
+	// Result, traces, and metrics snapshots stay byte-identical whether
+	// it is on or off. Each attempt gets a fresh profiler, so a retried
+	// run's report covers only the attempt that produced its Result.
+	Profile *profile.Options
 	// FaultPlan, when non-nil and non-zero, runs the simulation under
 	// deterministic chaos injection (see internal/faults). The harness
 	// never mutates the caller's plan: every attempt works on its own
@@ -133,6 +143,10 @@ type Outcome struct {
 	// Metrics is the end-of-run registry snapshot when metrics were
 	// enabled (Spec.Metrics or an observer), nil otherwise.
 	Metrics *metrics.Snapshot
+	// Profile is the cycle-attribution report when profiling was enabled
+	// (Spec.Profile), nil otherwise. Aborted runs carry a partial report
+	// covering the cycles that did execute.
+	Profile *profile.Report
 	// FaultsInjected counts the chaos injections of the run (0 when no
 	// fault plan was active).
 	FaultsInjected uint64
@@ -155,11 +169,12 @@ func (s Spec) config() config.GPU {
 	return config.K20m()
 }
 
-// owned returns the spec with its pointer fields (Config, FaultPlan)
-// replaced by private copies, so an Outcome records the run as it was
-// configured even if the caller mutates its structs afterwards — and so
-// the harness can never alias a caller's *faults.Plan from a stored
-// Outcome. Metrics and TraceSinks stay shared: the caller owns those.
+// owned returns the spec with its pointer fields (Config, FaultPlan,
+// Profile) replaced by private copies, so an Outcome records the run as
+// it was configured even if the caller mutates its structs afterwards —
+// and so the harness can never alias a caller's *faults.Plan from a
+// stored Outcome. Metrics and TraceSinks stay shared: the caller owns
+// those.
 func (s Spec) owned() Spec {
 	if s.Config != nil {
 		cfg := *s.Config
@@ -168,6 +183,10 @@ func (s Spec) owned() Spec {
 	if s.FaultPlan != nil {
 		p := *s.FaultPlan
 		s.FaultPlan = &p
+	}
+	if s.Profile != nil {
+		po := *s.Profile
+		s.Profile = &po
 	}
 	return s
 }
@@ -363,6 +382,10 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 	if reg == nil && observer != nil {
 		reg = metrics.NewRegistry()
 	}
+	var prof *profile.Profile
+	if spec.Profile != nil {
+		prof = profile.New(cfg.NumSMX, *spec.Profile)
+	}
 	g, err := sim.NewChecked(sim.Options{
 		Config:          cfg,
 		Policy:          pol,
@@ -372,6 +395,7 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		Trace:           ring,
 		Sinks:           spec.TraceSinks,
 		Metrics:         reg,
+		Profile:         prof,
 		Heartbeat:       spec.Heartbeat,
 		HeartbeatEvery:  kernel.Cycle(spec.HeartbeatEvery),
 		Faults:          inj,
@@ -402,6 +426,11 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		snap := reg.Snapshot(uint64(res.Cycles))
 		out.Metrics = &snap
 	}
+	if prof != nil {
+		// Assigned before the abort return below, so a partial run still
+		// carries the profile of the cycles it did execute.
+		out.Profile = prof.Report()
+	}
 	if runErr != nil {
 		return out, err
 	}
@@ -409,6 +438,24 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		observer(out)
 	}
 	return out, nil
+}
+
+// AggregateProfiles folds the profile reports of a batch of outcomes
+// into one merged report, in slice (= submission) order. Outcomes that
+// are nil or unprofiled are skipped; the result is nil when nothing was
+// profiled. Because profile.MergeReports is commutative on every
+// counter and re-sorts keyed sections, folding a Pool batch — whose
+// slice order is submission order regardless of worker count — yields
+// byte-identical serialized reports for any Workers setting.
+func AggregateProfiles(outs []*Outcome) *profile.Report {
+	var agg *profile.Report
+	for _, o := range outs {
+		if o == nil || o.Profile == nil {
+			continue
+		}
+		agg = profile.MergeReports(agg, o.Profile)
+	}
+	return agg
 }
 
 // OffloadTargets are the Figure 5 sweep points (fractions of the

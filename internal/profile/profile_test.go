@@ -1,0 +1,351 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+
+	"spawnsim/internal/trace"
+)
+
+func TestHistObserveReportQuantile(t *testing.T) {
+	var h hist
+	for _, v := range []uint64{0, 1, 2, 3, 100, 100, 5000} {
+		h.observe(v)
+	}
+	r := h.report()
+	if r.Count != 7 || r.Sum != 5206 || r.Max != 5000 {
+		t.Fatalf("report summary = %d/%d/%d, want 7/5206/5000", r.Count, r.Sum, r.Max)
+	}
+	var total uint64
+	for i, b := range r.Buckets {
+		total += b.Count
+		if i > 0 && r.Buckets[i-1].Le >= b.Le {
+			t.Errorf("bucket Les not ascending: %d then %d", r.Buckets[i-1].Le, b.Le)
+		}
+	}
+	if total != r.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, r.Count)
+	}
+	if q := r.Quantile(0.5); q != 127 {
+		// 4 of 7 values are <= 3; the 0.5-target (3rd value) lands in the
+		// le=3 bucket... verify against a direct cumulative walk instead
+		// of hard-coding: p50 must be an upper bound on the median (3).
+		if q < 3 {
+			t.Errorf("p50 = %d, below the true median 3", q)
+		}
+	}
+	if q := r.Quantile(1.0); q != r.Max {
+		t.Errorf("p100 = %d, want max %d", q, r.Max)
+	}
+	if q := r.Quantile(0.99); q > r.Max {
+		t.Errorf("quantile %d exceeds observed max %d", q, r.Max)
+	}
+}
+
+func TestEndTickClassification(t *testing.T) {
+	p := New(2, Options{SampleEvery: 1000})
+	// Tick 0: GMU busy, SMX0 stalled on latency, SMX1 idle; mem issues.
+	p.Note(CompGMU, StateBusy)
+	p.Note(CompHWQ, StallQueue)
+	p.Note(CompSMX0, StallLatency)
+	p.EndTick(TickStats{Now: 0, Transactions: 1})
+	// Tick 1: everything idle, no new transactions.
+	p.EndTick(TickStats{Now: 1, Transactions: 1})
+
+	r := p.Report()
+	if r.Ticked != 2 || r.Cycles != 2 {
+		t.Fatalf("ticked/cycles = %d/%d, want 2/2", r.Ticked, r.Cycles)
+	}
+	byName := map[string]ComponentReport{}
+	for _, c := range r.Components {
+		byName[c.Name] = c
+	}
+	if g := byName["gmu"]; g.Busy != 1 || g.Idle != 1 {
+		t.Errorf("gmu busy/idle = %d/%d, want 1/1", g.Busy, g.Idle)
+	}
+	if h := byName["hwq"]; h.StallQueue != 1 {
+		t.Errorf("hwq stall-queue = %d, want 1", h.StallQueue)
+	}
+	if m := byName["mem"]; m.Busy != 1 || m.Idle != 1 {
+		t.Errorf("mem busy/idle = %d/%d, want 1/1 (delta classification)", m.Busy, m.Idle)
+	}
+	if s := byName["smx0"]; s.StallLatency != 1 || s.Idle != 1 {
+		t.Errorf("smx0 stall-latency/idle = %d/%d, want 1/1", s.StallLatency, s.Idle)
+	}
+	if s := byName["smx1"]; s.Idle != 2 {
+		t.Errorf("smx1 idle = %d, want 2 (Note never called)", s.Idle)
+	}
+}
+
+func TestSkipToExtendsIdleRuns(t *testing.T) {
+	p := New(0, Options{})
+	// GMU idle at tick 0, engine skips cycles 1..9, busy at tick 10:
+	// the closed idle run must span 10 cycles (1 ticked + 9 skipped).
+	p.EndTick(TickStats{Now: 0})
+	p.SkipTo(0, 10)
+	p.Note(CompGMU, StateBusy)
+	p.EndTick(TickStats{Now: 10})
+
+	r := p.Report()
+	if r.Ticked != 2 || r.Skipped != 9 {
+		t.Fatalf("ticked/skipped = %d/%d, want 2/9", r.Ticked, r.Skipped)
+	}
+	gmu := r.Components[CompGMU]
+	if gmu.IdleRuns.Count != 1 || gmu.IdleRuns.Max != 10 {
+		t.Errorf("gmu idle runs = %d runs max %d, want 1 run of 10", gmu.IdleRuns.Count, gmu.IdleRuns.Max)
+	}
+	// SkipTo with next <= now+1 is a no-op.
+	q := New(0, Options{})
+	q.SkipTo(5, 6)
+	if rep := q.Report(); rep.Skipped != 0 {
+		t.Errorf("adjacent SkipTo recorded %d skipped cycles, want 0", rep.Skipped)
+	}
+}
+
+func TestNilProfileNoOps(t *testing.T) {
+	var p *Profile
+	p.Note(CompGMU, StateBusy)
+	p.EndTick(TickStats{Now: 0})
+	p.SkipTo(0, 100)
+	p.Finish(100)
+	p.KernelSite(1, "x", KindDevice)
+	p.Record(trace.Event{Kind: trace.KernelSubmitted, Kernel: 1})
+	if p.SampleDue(0) {
+		t.Error("nil profile reported a sample due")
+	}
+	if p.Report() != nil {
+		t.Error("nil profile produced a report")
+	}
+}
+
+// feed replays a synthetic event stream.
+func feed(p *Profile, events []trace.Event) {
+	for _, e := range events {
+		p.Record(e)
+	}
+}
+
+func TestSpanAssembly(t *testing.T) {
+	p := New(0, Options{})
+	p.KernelSite(1, "parent", KindDevice)
+	feed(p, []trace.Event{
+		{Cycle: 100, Kind: trace.KernelSubmitted, Kernel: 1, CTA: -1},
+		{Cycle: 130, Kind: trace.KernelArrived, Kernel: 1, CTA: -1},
+		{Cycle: 150, Kind: trace.CTAPlaced, Kernel: 1, CTA: 0},
+		{Cycle: 155, Kind: trace.CTAPlaced, Kernel: 1, CTA: 1}, // later CTA: not a stage edge
+		{Cycle: 400, Kind: trace.KernelCompleted, Kernel: 1, CTA: -1},
+	})
+	r := p.Report()
+	if len(r.Sites) != 1 {
+		t.Fatalf("got %d sites, want 1", len(r.Sites))
+	}
+	s := r.Sites[0]
+	if s.Site != "parent" || s.Kind != "device" {
+		t.Fatalf("site key = %s/%s, want parent/device", s.Site, s.Kind)
+	}
+	if s.Count != 1 || s.Partial != 0 {
+		t.Fatalf("count/partial = %d/%d, want 1/0", s.Count, s.Partial)
+	}
+	for _, tc := range []struct {
+		name string
+		h    HistReport
+		sum  uint64
+	}{
+		{"transit", s.Transit, 30}, {"queue", s.Queue, 20},
+		{"exec", s.Exec, 250}, {"total", s.Total, 300},
+	} {
+		if tc.h.Count != 1 || tc.h.Sum != tc.sum {
+			t.Errorf("%s = %d obs sum %d, want 1 obs sum %d", tc.name, tc.h.Count, tc.h.Sum, tc.sum)
+		}
+	}
+	if r.Anomalies != 0 {
+		t.Errorf("anomalies = %d, want 0", r.Anomalies)
+	}
+}
+
+func TestSpanOutOfOrderRetire(t *testing.T) {
+	// Kernel 2 submits after kernel 1 but retires first; both spans must
+	// close cleanly with no anomalies.
+	p := New(0, Options{})
+	p.KernelSite(1, "a", KindDevice)
+	p.KernelSite(2, "a", KindDevice)
+	feed(p, []trace.Event{
+		{Cycle: 10, Kind: trace.KernelSubmitted, Kernel: 1, CTA: -1},
+		{Cycle: 20, Kind: trace.KernelSubmitted, Kernel: 2, CTA: -1},
+		{Cycle: 30, Kind: trace.KernelArrived, Kernel: 2, CTA: -1},
+		{Cycle: 35, Kind: trace.KernelArrived, Kernel: 1, CTA: -1},
+		{Cycle: 40, Kind: trace.CTAPlaced, Kernel: 2, CTA: 0},
+		{Cycle: 45, Kind: trace.CTAPlaced, Kernel: 1, CTA: 0},
+		{Cycle: 50, Kind: trace.KernelCompleted, Kernel: 2, CTA: -1},
+		{Cycle: 90, Kind: trace.KernelCompleted, Kernel: 1, CTA: -1},
+	})
+	r := p.Report()
+	if len(r.Sites) != 1 || r.Sites[0].Count != 2 {
+		t.Fatalf("sites/count = %d/%d, want 1 site with 2 spans", len(r.Sites), r.Sites[0].Count)
+	}
+	if r.Anomalies != 0 {
+		t.Errorf("anomalies = %d, want 0", r.Anomalies)
+	}
+	if got := r.Sites[0].Total.Sum; got != (90-10)+(50-20) {
+		t.Errorf("total stage sum = %d, want 110", got)
+	}
+}
+
+func TestSpanAbortedRunYieldsPartials(t *testing.T) {
+	p := New(0, Options{})
+	p.KernelSite(1, "a", KindDevice)
+	p.KernelSite(2, "a", KindDevice)
+	feed(p, []trace.Event{
+		{Cycle: 10, Kind: trace.KernelSubmitted, Kernel: 1, CTA: -1},
+		{Cycle: 15, Kind: trace.KernelArrived, Kernel: 1, CTA: -1},
+		{Cycle: 20, Kind: trace.CTAPlaced, Kernel: 1, CTA: 0},
+		{Cycle: 25, Kind: trace.KernelSubmitted, Kernel: 2, CTA: -1},
+		// Run aborts here: neither kernel retires, kernel 2 never arrived.
+	})
+	p.Finish(100)
+	r := p.Report()
+	if len(r.Sites) != 1 {
+		t.Fatalf("got %d sites, want 1", len(r.Sites))
+	}
+	s := r.Sites[0]
+	if s.Count != 0 || s.Partial != 2 || r.PartialSpans != 2 {
+		t.Fatalf("count/partial/report-partials = %d/%d/%d, want 0/2/2", s.Count, s.Partial, r.PartialSpans)
+	}
+	// Kernel 1's transit and queue stages are still measured; exec and
+	// total need a retire and must stay empty.
+	if s.Transit.Count != 1 || s.Queue.Count != 1 {
+		t.Errorf("transit/queue obs = %d/%d, want 1/1", s.Transit.Count, s.Queue.Count)
+	}
+	if s.Exec.Count != 0 || s.Total.Count != 0 {
+		t.Errorf("exec/total obs = %d/%d, want 0/0 for partial spans", s.Exec.Count, s.Total.Count)
+	}
+	// Kernel 2 never arrived: one anomaly.
+	if r.Anomalies != 1 {
+		t.Errorf("anomalies = %d, want 1", r.Anomalies)
+	}
+}
+
+func TestSpanAnomalies(t *testing.T) {
+	p := New(0, Options{})
+	feed(p, []trace.Event{
+		{Cycle: 1, Kind: trace.KernelSubmitted, Kernel: 1, CTA: -1},
+		{Cycle: 2, Kind: trace.KernelSubmitted, Kernel: 1, CTA: -1}, // duplicate submit
+		{Cycle: 3, Kind: trace.KernelArrived, Kernel: 9, CTA: -1},   // arrival without a span
+		{Cycle: 4, Kind: trace.KernelCompleted, Kernel: 9, CTA: -1}, // retire without a span
+	})
+	r := p.Report()
+	if r.Anomalies != 3+1 { // +1: kernel 1 folds partial without arriving
+		t.Errorf("anomalies = %d, want 4", r.Anomalies)
+	}
+	// Untracked sites fall back to the ingest key.
+	if len(r.Sites) != 1 || r.Sites[0].Site != "(trace)" || r.Sites[0].Kind != "unknown" {
+		t.Errorf("fallback site = %+v, want (trace)/unknown", r.Sites)
+	}
+}
+
+// synthReport builds a small report via the public accumulators.
+func synthReport(busy uint64) *Report {
+	p := New(1, Options{SampleEvery: 1})
+	p.KernelSite(1, "site-a", KindDevice)
+	p.Record(trace.Event{Cycle: 0, Kind: trace.KernelSubmitted, Kernel: 1, CTA: -1})
+	p.Record(trace.Event{Cycle: 2, Kind: trace.KernelArrived, Kernel: 1, CTA: -1})
+	p.Record(trace.Event{Cycle: 4, Kind: trace.CTAPlaced, Kernel: 1, CTA: 0})
+	for i := uint64(0); i < busy; i++ {
+		p.Note(CompGMU, StateBusy)
+		p.Note(CompSMX0, StallLatency)
+		p.EndTick(TickStats{Now: i, Transactions: i})
+	}
+	p.Record(trace.Event{Cycle: busy, Kind: trace.KernelCompleted, Kernel: 1, CTA: -1})
+	p.Finish(busy)
+	return p.Report()
+}
+
+func TestMergeReports(t *testing.T) {
+	a, b := synthReport(4), synthReport(8)
+	m := MergeReports(a, b)
+	if m.Runs != 2 || m.Ticked != 12 {
+		t.Fatalf("merged runs/ticked = %d/%d, want 2/12", m.Runs, m.Ticked)
+	}
+	if m.Timeline != nil {
+		t.Error("merged report kept a timeline; it describes exactly one run")
+	}
+	if len(m.Components) != len(a.Components) {
+		t.Fatalf("merged components = %d, want %d", len(m.Components), len(a.Components))
+	}
+	if g := m.Components[CompGMU]; g.Busy != 12 {
+		t.Errorf("merged gmu busy = %d, want 12", g.Busy)
+	}
+	if len(m.Sites) != 1 || m.Sites[0].Count != 2 {
+		t.Fatalf("merged sites = %+v, want one site with 2 spans", m.Sites)
+	}
+	// Merging must not mutate its inputs.
+	if a.Runs != 1 || b.Runs != 1 {
+		t.Error("MergeReports mutated an input report")
+	}
+	// Nil tolerance.
+	if MergeReports(nil, nil) != nil {
+		t.Error("MergeReports(nil, nil) != nil")
+	}
+	if one := MergeReports(nil, a); one == nil || one.Runs != 1 || one == a {
+		t.Error("MergeReports(nil, a) must clone a")
+	}
+}
+
+func TestMergeOrderIndependentBytes(t *testing.T) {
+	a, b := synthReport(4), synthReport(8)
+	ab, ba := MergeReports(a, b), MergeReports(b, a)
+	var bufAB, bufBA bytes.Buffer
+	if err := ab.WriteJSON(&bufAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WriteJSON(&bufBA); err != nil {
+		t.Fatal(err)
+	}
+	// Components carry identical name sets here (the Pool invariant:
+	// every run profiles the same machine shape), so merge order cannot
+	// show through anywhere.
+	if !bytes.Equal(bufAB.Bytes(), bufBA.Bytes()) {
+		t.Errorf("merge order leaked into serialized bytes:\nab: %s\nba: %s", bufAB.Bytes(), bufBA.Bytes())
+	}
+}
+
+func TestReportSerializationDeterministic(t *testing.T) {
+	for _, format := range []string{"json", "text", "csv"} {
+		var b1, b2 bytes.Buffer
+		r1, r2 := synthReport(16), synthReport(16)
+		var err1, err2 error
+		switch format {
+		case "json":
+			err1, err2 = r1.WriteJSON(&b1), r2.WriteJSON(&b2)
+		case "text":
+			err1, err2 = r1.WriteText(&b1), r2.WriteText(&b2)
+		default:
+			err1, err2 = r1.WriteCSV(&b1), r2.WriteCSV(&b2)
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s writers: %v / %v", format, err1, err2)
+		}
+		if b1.Len() == 0 {
+			t.Fatalf("%s writer produced no output", format)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s output differs between identical profiles", format)
+		}
+	}
+}
+
+func TestTimelineSampling(t *testing.T) {
+	p := New(0, Options{SampleEvery: 10})
+	for i := uint64(0); i < 35; i++ {
+		p.EndTick(TickStats{Now: i, QueuedKernels: int(i)})
+	}
+	r := p.Report()
+	if len(r.Timeline) != 4 { // cycles 0, 10, 20, 30
+		t.Fatalf("timeline has %d samples, want 4: %+v", len(r.Timeline), r.Timeline)
+	}
+	for i, s := range r.Timeline {
+		if s.Cycle != uint64(i*10) {
+			t.Errorf("sample %d at cycle %d, want %d", i, s.Cycle, i*10)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"spawnsim/internal/config"
 	"spawnsim/internal/metrics"
+	"spawnsim/internal/profile"
 	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/stats"
 )
@@ -34,6 +35,12 @@ type GMU struct {
 
 	pendingCTAs int // undispatched CTAs across all queued kernels
 	queuedKerns int
+	occupied    int // HWQs with at least one resident kernel
+
+	// stalledNow latches the last Dispatch call's back-pressure
+	// decision, so the profiler can attribute a zero-placement cycle
+	// without re-consulting the injector (whose hooks may emit events).
+	stalledNow bool
 
 	// stalled, when non-nil, is consulted at the top of Dispatch: a true
 	// return models transient pending-pool back-pressure and suspends CTA
@@ -95,6 +102,9 @@ func (g *GMU) Enqueue(k *kernel.Kernel) {
 	} else {
 		qi = int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
 		g.hwqs[qi] = append(g.hwqs[qi], k)
+		if len(g.hwqs[qi]) == 1 {
+			g.occupied++
+		}
 	}
 	g.pendingCTAs += k.Def.GridCTAs
 	g.queuedKerns++
@@ -135,8 +145,10 @@ func (g *GMU) headOf(qi int) *kernel.Kernel {
 //spawnvet:hotpath
 func (g *GMU) Dispatch(now kernel.Cycle, place PlaceFunc) int {
 	if g.stalled != nil && g.stalled(now) {
+		g.stalledNow = true
 		return 0
 	}
+	g.stalledNow = false
 	placed := 0
 	for placed < g.cfg.CTADispatchRate {
 		n := g.numQueues()
@@ -191,6 +203,9 @@ func (g *GMU) Yield(k *kernel.Kernel) {
 		panic(kernel.Invariantf(0, "gmu", "yielding %v which is not head of HWQ %d", k, qi))
 	}
 	g.hwqs[qi] = q[1:]
+	if len(g.hwqs[qi]) == 0 {
+		g.occupied--
+	}
 	k.Yielded = true
 	g.mYields.Inc()
 }
@@ -217,6 +232,9 @@ func (g *GMU) KernelCompleted(k *kernel.Kernel) {
 		panic(kernel.Invariantf(0, "gmu", "completed %v is not head of HWQ %d", k, qi))
 	}
 	g.hwqs[qi] = q[1:]
+	if len(g.hwqs[qi]) == 0 {
+		g.occupied--
+	}
 }
 
 // SetBackpressure installs the transient-stall predicate consulted by
@@ -267,6 +285,16 @@ func (g *GMU) CheckInvariants(now kernel.Cycle) error {
 		return kernel.Invariantf(now, "gmu", "resident kernels %d < %d queue members",
 			g.queuedKerns, members)
 	}
+	occupied := 0
+	for _, q := range g.hwqs {
+		if len(q) > 0 {
+			occupied++
+		}
+	}
+	if occupied != g.occupied {
+		return kernel.Invariantf(now, "gmu", "occupied-HWQ counter %d != %d non-empty queues",
+			g.occupied, occupied)
+	}
 	return nil
 }
 
@@ -288,13 +316,48 @@ func (g *GMU) HasDispatchable() bool {
 }
 
 // ConcurrentKernelSlots reports how many HWQ heads are occupied
-// (the paper's "concurrent kernels" figure, bounded by 32).
-func (g *GMU) ConcurrentKernelSlots() int {
-	n := 0
-	for _, q := range g.hwqs {
-		if len(q) > 0 {
-			n++
-		}
+// (the paper's "concurrent kernels" figure, bounded by 32). Maintained
+// incrementally by Enqueue/Yield/KernelCompleted and audited by
+// CheckInvariants.
+func (g *GMU) ConcurrentKernelSlots() int { return g.occupied }
+
+// DispatchState classifies the GMU's tick for the cycle-attribution
+// profiler (see internal/profile): busy when kernels moved (an arrival
+// or a CTA placement), otherwise attributing why a dispatchable head
+// made no progress. Must be called after Dispatch for the same tick —
+// the back-pressure attribution reads the decision Dispatch latched,
+// never the injector itself (whose hooks may emit events).
+//
+//spawnvet:hotpath
+func (g *GMU) DispatchState(arrived bool, placed int, hadDispatchable bool) profile.State {
+	if arrived || placed > 0 {
+		return profile.StateBusy
 	}
-	return n
+	if hadDispatchable {
+		if g.stalledNow {
+			return profile.StallBackpressure
+		}
+		return profile.StallDispatch
+	}
+	if g.queuedKerns > 0 {
+		return profile.StallQueue
+	}
+	return profile.StateIdle
+}
+
+// QueueState classifies HWQ residency for the profiler: idle when no
+// queue slot is held, busy when a CTA was placed this tick, and
+// stalled-on-queue otherwise (slots held but nothing could move —
+// heads fully dispatched, suspended, or blocked behind HyperQ false
+// serialization).
+//
+//spawnvet:hotpath
+func (g *GMU) QueueState(placed int) profile.State {
+	if g.occupied == 0 && len(g.direct) == 0 {
+		return profile.StateIdle
+	}
+	if placed > 0 {
+		return profile.StateBusy
+	}
+	return profile.StallQueue
 }

@@ -98,6 +98,19 @@ func (h *Hierarchy) Instrument(reg *metrics.Registry) {
 	reg.GaugeFunc("mem_dram_row_hit_rate", h.DRAMRowHitRate)
 }
 
+// BusyBanks counts DRAM banks still serving a request at cycle now.
+// A bank scan, so the profiler gathers it only on timeline-sample
+// ticks (see profile.SampleDue), never on the per-access path.
+func (h *Hierarchy) BusyBanks(now kernel.Cycle) int {
+	n := 0
+	for i := range h.banks {
+		if h.banks[i].nextFree > now {
+			n++
+		}
+	}
+	return n
+}
+
 // partitionOf maps a line to its L2 partition (lines interleave across
 // partitions, as address hashing does on real parts).
 func (h *Hierarchy) partitionOf(line uint64) int {

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spawnsim/internal/config"
+	spawn "spawnsim/internal/core"
+	"spawnsim/internal/faults"
+	"spawnsim/internal/metrics"
+	"spawnsim/internal/profile"
+	"spawnsim/internal/trace"
+)
+
+// profiledRun mirrors deterministicRun — chaos active, invariants on,
+// metrics and JSONL streaming — optionally with the cycle-attribution
+// profiler attached, and returns every artifact byte stream plus the
+// profile report (nil when profiling is off).
+func profiledRun(t *testing.T, profiled bool) (resultJSON, traceJSONL, metricsJSON, reportJSON []byte) {
+	t.Helper()
+	cfg := config.K20m()
+	plan := faults.Mild(11)
+	inj, err := faults.New(plan)
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	var traceBuf bytes.Buffer
+	sink := trace.NewJSONL(&traceBuf)
+	reg := metrics.NewRegistry()
+	var prof *profile.Profile
+	if profiled {
+		prof = profile.New(cfg.NumSMX, profile.Options{})
+	}
+
+	g := New(Options{
+		Config:          cfg,
+		Policy:          spawn.New(cfg),
+		MaxCycles:       50_000_000,
+		Sinks:           []trace.Sink{sink},
+		Metrics:         reg,
+		Profile:         prof,
+		Faults:          inj,
+		CheckInvariants: true,
+	})
+	g.LaunchHost(dpParent(256, 4, 40, 4))
+	res, err := g.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("closing trace sink: %v", err)
+	}
+
+	rj, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshaling Result: %v", err)
+	}
+	snap := reg.Snapshot(uint64(res.Cycles))
+	var metricsBuf bytes.Buffer
+	if err := snap.WriteJSON(&metricsBuf); err != nil {
+		t.Fatalf("writing metrics snapshot: %v", err)
+	}
+	if prof != nil {
+		var repBuf bytes.Buffer
+		if err := prof.Report().WriteJSON(&repBuf); err != nil {
+			t.Fatalf("writing profile report: %v", err)
+		}
+		reportJSON = repBuf.Bytes()
+	}
+	return rj, traceBuf.Bytes(), metricsBuf.Bytes(), reportJSON
+}
+
+// TestProfileDoesNotPerturbArtifacts is the profiler's artifact-identity
+// guarantee: attaching the profiler must leave Result JSON, the trace
+// JSONL stream, and the metrics snapshot byte-for-byte unchanged on a
+// chaos-enabled run.
+func TestProfileDoesNotPerturbArtifacts(t *testing.T) {
+	resOff, traceOff, metricsOff, _ := profiledRun(t, false)
+	resOn, traceOn, metricsOn, report := profiledRun(t, true)
+
+	if !bytes.Equal(resOff, resOn) {
+		t.Errorf("Result JSON differs with profiling on:\noff: %s\non:  %s", resOff, resOn)
+	}
+	if !bytes.Equal(traceOff, traceOn) {
+		t.Errorf("trace JSONL differs with profiling on (%d vs %d bytes)", len(traceOff), len(traceOn))
+	}
+	if !bytes.Equal(metricsOff, metricsOn) {
+		t.Errorf("metrics snapshot differs with profiling on:\noff: %s\non:  %s", metricsOff, metricsOn)
+	}
+	if len(report) == 0 {
+		t.Fatal("profiled run produced no report")
+	}
+}
+
+// TestProfileReportIsBitIdentical extends the determinism contract to
+// the profiler: two identical chaos-enabled runs serialize identical
+// report bytes.
+func TestProfileReportIsBitIdentical(t *testing.T) {
+	_, _, _, rep1 := profiledRun(t, true)
+	_, _, _, rep2 := profiledRun(t, true)
+	if !bytes.Equal(rep1, rep2) {
+		t.Errorf("profile report differs between identical runs:\nrun1: %s\nrun2: %s", rep1, rep2)
+	}
+}
+
+// TestProfileAccountsEveryCycle checks the core accounting identity on
+// a real run: for every component, the state counters sum to the ticked
+// cycles, and ticked + skipped covers the whole run.
+func TestProfileAccountsEveryCycle(t *testing.T) {
+	cfg := config.K20m()
+	prof := profile.New(cfg.NumSMX, profile.Options{})
+	res := run(t, spawn.New(cfg), dpParent(256, 4, 40, 4),
+		func(o *Options) { o.Profile = prof })
+
+	rep := prof.Report()
+	if rep.Ticked == 0 {
+		t.Fatal("profiler saw no ticks")
+	}
+	if got, want := rep.Ticked+rep.Skipped, uint64(res.Cycles); got != want {
+		t.Errorf("ticked+skipped = %d, want run length %d", got, want)
+	}
+	for _, c := range rep.Components {
+		if sum := c.Busy + c.Skippable(); sum != rep.Ticked {
+			t.Errorf("component %s counters sum to %d, want ticked %d", c.Name, sum, rep.Ticked)
+		}
+	}
+	if len(rep.Sites) == 0 {
+		t.Error("no launch-site spans assembled")
+	}
+	for _, s := range rep.Sites {
+		if s.Site == "(trace)" {
+			t.Errorf("span group fell back to the ingest site key; KernelSite attribution missed a kernel: %+v", s)
+		}
+	}
+	if rep.Anomalies != 0 {
+		t.Errorf("clean run recorded %d trace anomalies", rep.Anomalies)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Error("no timeline samples collected")
+	}
+}

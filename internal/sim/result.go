@@ -78,6 +78,7 @@ type Result struct {
 // result snapshots the metrics at the end of Run.
 func (g *GPU) result() *Result {
 	end := g.clock
+	g.prof.Finish(uint64(end))
 	totalWarpSlots := float64(g.cfg.NumSMX * g.cfg.MaxWarpsPerSM())
 	offload := 0.0
 	if g.offeredWork > 0 {

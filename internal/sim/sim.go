@@ -14,6 +14,7 @@ import (
 	"spawnsim/internal/config"
 	"spawnsim/internal/faults"
 	"spawnsim/internal/metrics"
+	"spawnsim/internal/profile"
 	"spawnsim/internal/sim/gmu"
 	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/sim/mem"
@@ -69,6 +70,13 @@ type Options struct {
 	// InvariantEvery is the audit period in simulated cycles
 	// (0 = default 65,536 when CheckInvariants is set).
 	InvariantEvery kernel.Cycle
+	// Profile, when non-nil, attaches the cycle-attribution profiler:
+	// per-component busy/stall/idle accounting every tick, kernel-
+	// lifecycle span assembly off the trace stream, and sampled queue-
+	// depth/occupancy timelines (see internal/profile and
+	// cmd/spawnreport). Costs one nil check per tick when unset and
+	// never alters the Result, traces, or metrics.
+	Profile *profile.Profile
 	// Context, when non-nil, cancels the run: Run returns an AbortError
 	// (kind canceled or deadline) with a partial Result once it observes
 	// the cancellation. Checked every few thousand loop iterations, so
@@ -176,6 +184,7 @@ type GPU struct {
 	maxCycles kernel.Cycle
 	dtblLat   kernel.Cycle
 	sinks     []trace.Sink
+	prof      *profile.Profile
 
 	inj *faults.Injector
 
@@ -269,6 +278,13 @@ func NewChecked(opts Options) (*GPU, error) {
 		if s != nil {
 			g.sinks = append(g.sinks, s)
 		}
+	}
+	if opts.Profile != nil {
+		// The profiler assembles kernel-lifecycle spans from the same
+		// event stream every other sink sees; attaching it changes what
+		// is observed, never what is emitted.
+		g.prof = opts.Profile
+		g.sinks = append(g.sinks, opts.Profile)
 	}
 	if g.maxCycles == 0 {
 		g.maxCycles = DefaultMaxCycles
@@ -424,6 +440,7 @@ func (g *GPU) LaunchHost(def *kernel.Def) *kernel.Kernel {
 		LaunchCycle: g.clock,
 	}
 	g.liveKernels++
+	g.prof.KernelSite(k.ID, "(host)", profile.KindHost)
 	g.emit(trace.Event{Cycle: uint64(g.clock), Kind: trace.KernelSubmitted, Kernel: k.ID, CTA: -1})
 	g.flight.push(flightItem{at: g.clock, k: k})
 	return k
@@ -453,6 +470,7 @@ func (g *GPU) launchChild(now kernel.Cycle, w *kernel.Warp, cand *kernel.LaunchC
 		arrival = w.LaunchPipeFree + g.dtblLat
 		w.PendingLaunches++
 		g.dtblGroups++
+		g.prof.KernelSite(k.ID, w.CTA.Kernel.Def.Name, profile.KindDTBL)
 	} else {
 		k.Stream = g.streamFor(w)
 		// Per-warp serialized launch pipeline: the x-th concurrent
@@ -464,6 +482,7 @@ func (g *GPU) launchChild(now kernel.Cycle, w *kernel.Warp, cand *kernel.LaunchC
 		arrival = w.LaunchPipeFree + g.cfg.LaunchOverheadB
 		w.PendingLaunches++
 		g.childKernels++
+		g.prof.KernelSite(k.ID, w.CTA.Kernel.Def.Name, profile.KindDevice)
 	}
 	arrival += kernel.Cycle(g.inj.LaunchDelay(uint64(now), k.ID))
 	w.CTA.OutstandingChildren++
@@ -689,11 +708,50 @@ func (g *GPU) sampleUtilization(now kernel.Cycle) {
 	if g.utilSeries == nil {
 		return
 	}
+	g.utilSeries.Set(uint64(now), g.meanUtilization())
+}
+
+// meanUtilization averages the Section III-A1 resource utilization
+// across SMXs (a scan; callers sample it, never per tick).
+func (g *GPU) meanUtilization() float64 {
 	sum := 0.0
 	for _, m := range g.smxs {
 		sum += m.Utilization()
 	}
-	g.utilSeries.Set(uint64(now), sum/float64(len(g.smxs)))
+	return sum / float64(len(g.smxs))
+}
+
+// profTick classifies every component's tick for the attribution
+// profiler. Only reached when profiling is enabled; the classification
+// helpers read state the engine already maintains, and the expensive
+// sampled fields (bank scan, utilization) are gathered only on
+// timeline-sample ticks.
+func (g *GPU) profTick(now kernel.Cycle, arrived bool, placed int, hasDisp bool, issuedMask uint64) {
+	p := g.prof
+	p.Note(profile.CompGMU, g.gmu.DispatchState(arrived, placed, hasDisp))
+	p.Note(profile.CompHWQ, g.gmu.QueueState(placed))
+	busySMXs := 0
+	for i, m := range g.smxs {
+		issued := issuedMask&(1<<uint(i&63)) != 0
+		if issued {
+			busySMXs++
+		}
+		p.Note(profile.CompSMX0+i, m.ActivityState(issued))
+	}
+	st := profile.TickStats{
+		Now:           uint64(now),
+		QueuedKernels: g.gmu.QueuedKernels(),
+		PendingCTAs:   g.gmu.PendingCTAs(),
+		ActiveWarps:   g.activeWarps.Level(),
+		BusySMXs:      busySMXs,
+		Transactions:  g.mem.Transactions,
+		DRAMAccesses:  g.mem.DRAMAccesses,
+	}
+	if p.SampleDue(uint64(now)) {
+		st.BusyBanks = g.mem.BusyBanks(now)
+		st.Utilization = g.meanUtilization()
+	}
+	p.EndTick(st)
 }
 
 // place attempts to dispatch the next CTA of k onto some SMX
@@ -872,17 +930,28 @@ func (g *GPU) Run() (*Result, error) {
 			g.heartbeat(now)
 			g.hbNext = now + g.hbEvery
 		}
-		activity := g.processArrivals(now)
-		if g.gmu.HasDispatchable() && g.gmu.Dispatch(now, g.place) > 0 {
-			activity = true
+		arrived := g.processArrivals(now)
+		activity := arrived
+		hasDisp := g.gmu.HasDispatchable()
+		placed := 0
+		if hasDisp {
+			placed = g.gmu.Dispatch(now, g.place)
+			if placed > 0 {
+				activity = true
+			}
 		}
-		for _, m := range g.smxs {
+		var issuedMask uint64
+		for mi, m := range g.smxs {
 			for si := 0; si < m.Schedulers(); si++ {
 				if w := m.Pick(si, now); w != nil {
 					g.execute(now, w)
 					activity = true
+					issuedMask |= 1 << uint(mi&63)
 				}
 			}
+		}
+		if g.prof != nil {
+			g.profTick(now, arrived, placed, hasDisp, issuedMask)
 		}
 		if activity {
 			g.clock = now + 1
@@ -914,6 +983,7 @@ func (g *GPU) Run() (*Result, error) {
 		if next <= now {
 			g.clock = now + 1
 		} else {
+			g.prof.SkipTo(uint64(now), uint64(next))
 			g.clock = next
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"spawnsim/internal/config"
 	"spawnsim/internal/metrics"
+	"spawnsim/internal/profile"
 	"spawnsim/internal/sim/kernel"
 )
 
@@ -215,6 +216,27 @@ func (m *SMX) NextReady() kernel.Cycle {
 
 // ResidentCTAs reports CTAs currently holding resources.
 func (m *SMX) ResidentCTAs() int { return len(m.resident) }
+
+// ActivityState classifies this SMX's tick for the cycle-attribution
+// profiler (see internal/profile): busy when a warp issued, idle when
+// nothing is resident, stalled-on-sync when every resident warp is
+// parked at a synchronization point (NextReady sees no wake cycle),
+// and stalled-on-latency otherwise (resident warps blocked on memory
+// or ALU timing edges). Two cached loads on the common no-issue path.
+//
+//spawnvet:hotpath
+func (m *SMX) ActivityState(issued bool) profile.State {
+	if issued {
+		return profile.StateBusy
+	}
+	if len(m.resident) == 0 {
+		return profile.StateIdle
+	}
+	if m.NextReady() == NoEvent {
+		return profile.StallSync
+	}
+	return profile.StallLatency
+}
 
 // Utilization returns the Section III-A1 resource utilization of this
 // SMX: the maximum of register-file, shared-memory, and thread-slot

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // Perfetto is a Sink exporting the run as Chrome trace-event JSON, the
@@ -31,6 +32,13 @@ type Perfetto struct {
 	openCTA map[[2]int]int // (kernel, cta) -> event id of the open span
 	openK   map[int]bool   // kernel id -> async span open
 	nextID  int
+
+	// Counter tracks render as threads of the kernels process. tids are
+	// allocated in first-use order from counterTIDBase and every counter
+	// sample is emitted immediately at Record time, so two exports of
+	// the same run produce identical bytes — and Close has nothing
+	// counter-related left to sort (no map iteration at finalization).
+	counterTID map[string]int
 }
 
 // kernelsPID is the trace process id of the kernel/GMU track group; SMX
@@ -42,11 +50,12 @@ const kernelsPID = 0
 // document but does not close w.
 func NewPerfetto(w io.Writer, numSMX int) *Perfetto {
 	p := &Perfetto{
-		w:       bufio.NewWriterSize(w, 1<<16),
-		first:   true,
-		openCTA: map[[2]int]int{},
-		openK:   map[int]bool{},
-		nextID:  1,
+		w:          bufio.NewWriterSize(w, 1<<16),
+		first:      true,
+		openCTA:    map[[2]int]int{},
+		openK:      map[int]bool{},
+		nextID:     1,
+		counterTID: map[string]int{},
 	}
 	p.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
 	p.meta("process_name", kernelsPID, 0, `"name":"GMU / kernels"`)
@@ -92,6 +101,32 @@ func (p *Perfetto) async(ph string, cat string, id int, name string, pid int, ts
 	}
 	p.event(fmt.Sprintf(`{"ph":%q,"cat":%q,"id":%d,"name":%q,"pid":%d,"tid":0,"ts":%d%s}`,
 		ph, cat, id, name, pid, ts, args))
+}
+
+// counterTIDBase is the first thread id used for counter tracks inside
+// the kernels process; tids 1 and 2 are the launch-decision and fault
+// instant threads.
+const counterTIDBase = 100
+
+// Counter emits one sample of a named counter track (queue depth, SMX
+// occupancy, ...) at cycle ts. The track's thread id is allocated on
+// first use, in call order; callers must therefore introduce tracks in
+// a deterministic order, which every profiler-driven exporter does by
+// walking sorted report timelines. Values render with strconv's
+// shortest 'g' form, the same float contract as the metrics exporters.
+func (p *Perfetto) Counter(track string, ts uint64, value float64) {
+	tid, ok := p.counterTID[track]
+	if !ok {
+		tid = counterTIDBase + len(p.counterTID)
+		p.counterTID[track] = tid
+		p.meta("thread_name", kernelsPID, tid, fmt.Sprintf(`"name":%q`, track))
+		p.meta("thread_sort_index", kernelsPID, tid, fmt.Sprintf(`"sort_index":%d`, tid))
+	}
+	if ts > p.last {
+		p.last = ts
+	}
+	p.event(fmt.Sprintf(`{"ph":"C","name":%q,"pid":%d,"tid":%d,"ts":%d,"args":{"value":%s}}`,
+		track, kernelsPID, tid, ts, strconv.FormatFloat(value, 'g', -1, 64)))
 }
 
 // Record implements Sink.

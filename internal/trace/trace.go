@@ -79,6 +79,31 @@ func (k Kind) String() string {
 	}
 }
 
+// kindNames maps the wire strings emitted by Kind.String back to Kinds.
+// Kept in a package-level map (built once) so JSONL ingestion — the
+// spawnreport replay path — does not re-run an 11-way string switch per
+// event.
+var kindNames = map[string]Kind{
+	"kernel-submitted": KernelSubmitted,
+	"kernel-arrived":   KernelArrived,
+	"kernel-completed": KernelCompleted,
+	"kernel-yielded":   KernelYielded,
+	"cta-placed":       CTAPlaced,
+	"cta-suspended":    CTASuspended,
+	"cta-completed":    CTACompleted,
+	"launch-accepted":  LaunchAccepted,
+	"launch-declined":  LaunchDeclined,
+	"launch-deferred":  LaunchDeferred,
+	"fault-injected":   FaultInjected,
+}
+
+// ParseKind inverts Kind.String, reporting false for strings that name
+// no known kind (including the "kind(N)" fallback form).
+func ParseKind(s string) (Kind, bool) {
+	k, ok := kindNames[s]
+	return k, ok
+}
+
 // Event is one traced occurrence.
 type Event struct {
 	Cycle uint64
