@@ -24,6 +24,7 @@ import (
 	"spawnsim/internal/config"
 	"spawnsim/internal/faults"
 	"spawnsim/internal/harness"
+	"spawnsim/internal/store"
 	"spawnsim/internal/workloads"
 )
 
@@ -41,6 +42,12 @@ func main() {
 		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan applied to every run: 'mild', 'none', or clauses like transit=0.1:2000,hwq=0.02")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "seed selecting the concrete fault schedule for -chaos-plan")
 		retries   = flag.Int("retries", 0, "retry transient chaos-run failures up to N times under derived seeds")
+
+		resume       = flag.String("resume", "", "checkpoint directory: completed runs are stored in <dir>/store and journaled to <dir>/journal.jsonl; re-invoking with the same flags replays finished sweep points and re-runs only the missing ones")
+		tolerate     = flag.Bool("tolerate", false, "degrade gracefully when a run's retry budget is exhausted: keep its partial result with the failure quarantined instead of failing the sweep")
+		stallWindow  = flag.Uint64("stall-window", 0, "abort a run that makes no simulated progress for N scheduler steps (livelock watchdog; 0 = off)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "abort a run that delivers no heartbeat for this long in wall time (0 = off)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base wall-clock delay before each retry, doubling per attempt capped at 16x (0 = none)")
 	)
 	flag.Parse()
 
@@ -48,8 +55,7 @@ func main() {
 	if *chaosPlan != "" {
 		p, err := faults.Parse(*chaosPlan, *chaosSeed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		plan = &p
 	}
@@ -67,15 +73,33 @@ func main() {
 			s.Deadline = *timeout
 			s.CheckInvariants = *check
 			s.Retries = *retries
+			s.Tolerate = *tolerate
+			s.StallWindow = *stallWindow
+			s.StallTimeout = *stallTimeout
+			s.RetryBackoff = *retryBackoff
 			if plan != nil && s.FaultPlan == nil {
 				s.FaultPlan = plan
 			}
 		},
 	}
+	if *resume != "" {
+		st, err := store.Open(filepath.Join(*resume, "store"))
+		if err != nil {
+			fatal(err)
+		}
+		j, err := store.OpenJournal(filepath.Join(*resume, "journal.jsonl"))
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		pool.Store, pool.Journal = st, j
+		if n := len(j.Prior()); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming over %d journaled points in %s\n", n, *resume)
+		}
+	}
 	if *metricsDir != "" {
 		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		// The pool serializes observer callbacks, so the dumper needs no
 		// locking even at -parallel > 1.
@@ -106,9 +130,20 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(pool, *exp, *bench, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+// fatal reports the error and exits with a code distinguishing the
+// abort kind (130 canceled, 124 deadline/stalled, 3 invariant, 1
+// otherwise), so sweep scripts can tell an interrupt from a timeout
+// from a real failure.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if kind, ok := harness.AbortKind(err); ok {
+		fmt.Fprintf(os.Stderr, "experiments: abort kind: %s\n", kind)
+	}
+	os.Exit(harness.ExitCode(err))
 }
 
 // metricsDumper returns an observer that writes every run's metrics

@@ -20,6 +20,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/pprof"
 	"syscall"
 
@@ -29,6 +30,7 @@ import (
 	"spawnsim/internal/metrics"
 	"spawnsim/internal/sim"
 	"spawnsim/internal/sim/kernel"
+	"spawnsim/internal/store"
 	"spawnsim/internal/trace"
 	"spawnsim/internal/workloads"
 )
@@ -57,6 +59,12 @@ func main() {
 		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan: 'mild', 'none', or clauses like transit=0.1:2000,hwq=0.02,smx=0.01,dram=0.05:200,epoch=8192")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "seed selecting the concrete fault schedule for -chaos-plan")
 		retries   = flag.Int("retries", 0, "retry transient chaos-run failures up to N times under derived seeds")
+
+		resume       = flag.String("resume", "", "checkpoint directory: completed runs are stored in <dir>/store and journaled to <dir>/journal.jsonl; re-invoking with the same flags replays finished sweep points and re-runs only the missing ones")
+		tolerate     = flag.Bool("tolerate", false, "degrade gracefully when the retry budget is exhausted: keep the partial result with the failure quarantined instead of failing the run")
+		stallWindow  = flag.Uint64("stall-window", 0, "abort a run that makes no simulated progress for N scheduler steps (livelock watchdog; 0 = off)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "abort a run that delivers no heartbeat for this long in wall time (0 = off)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base wall-clock delay before each retry, doubling per attempt capped at 16x (0 = none)")
 
 		list = flag.Bool("list", false, "list benchmarks and exit")
 	)
@@ -107,6 +115,10 @@ func main() {
 	spec.MaxCycles = *maxCycles
 	spec.CheckInvariants = *check
 	spec.Retries = *retries
+	spec.Tolerate = *tolerate
+	spec.StallWindow = *stallWindow
+	spec.StallTimeout = *stallTimeout
+	spec.RetryBackoff = *retryBackoff
 	if *chaosPlan != "" {
 		p, err := faults.Parse(*chaosPlan, *chaosSeed)
 		if err != nil {
@@ -156,6 +168,21 @@ func main() {
 	// The pool only matters for sweep schemes (offline): candidates fan
 	// out across -parallel workers with byte-identical results.
 	pool := &harness.Pool{Workers: *parallel, Context: ctx}
+	if *resume != "" {
+		st, err := store.Open(filepath.Join(*resume, "store"))
+		if err != nil {
+			fatal(err)
+		}
+		j, err := store.OpenJournal(filepath.Join(*resume, "journal.jsonl"))
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		pool.Store, pool.Journal = st, j
+		if n := len(j.Prior()); n > 0 {
+			fmt.Fprintf(os.Stderr, "spawnsim: resuming over %d journaled points in %s\n", n, *resume)
+		}
+	}
 	if *heartbeatN > 0 {
 		// Sweep-level progress rides the heartbeat flag: per-candidate
 		// start/finish lines on stderr, serialized by the pool collector.
@@ -199,6 +226,10 @@ func main() {
 			spec.FaultPlan.String(), spec.FaultPlan.Seed, out.FaultsInjected)
 	}
 	for _, f := range out.Failures {
+		if f.Quarantined {
+			fmt.Fprintf(os.Stderr, "spawnsim: %s quarantined after %d attempts: %v\n", f.Scheme, f.Attempts, f.Err)
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "spawnsim: sweep candidate %s failed: %v\n", f.Scheme, f.Err)
 	}
 	if *metricsOut != "" {
@@ -223,9 +254,16 @@ func main() {
 	}
 }
 
+// fatal reports the error and exits with a code distinguishing the
+// abort kind (130 canceled, 124 deadline/stalled, 3 invariant, 1
+// otherwise), so sweep scripts can tell an interrupt from a timeout
+// from a real failure.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "spawnsim:", err)
-	os.Exit(1)
+	if kind, ok := harness.AbortKind(err); ok {
+		fmt.Fprintf(os.Stderr, "spawnsim: abort kind: %s\n", kind)
+	}
+	os.Exit(harness.ExitCode(err))
 }
 
 // compact truncates long series for terminal output.

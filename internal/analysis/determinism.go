@@ -15,7 +15,7 @@ import (
 //
 // Rules, inside the deterministic packages (internal/sim/...,
 // internal/harness, internal/trace, internal/metrics, internal/faults,
-// internal/inputs):
+// internal/inputs, internal/store):
 //
 //   - no time.Now / time.Since (wall-clock sites that are genuinely
 //     presentation-only — heartbeat rates, deadline bookkeeping — carry
@@ -34,6 +34,7 @@ func DeterminismAnalyzer() *Analyzer {
 		AppliesTo: pathWithin(
 			"internal/sim", "internal/harness", "internal/trace",
 			"internal/metrics", "internal/faults", "internal/inputs",
+			"internal/store",
 		),
 		Run: runDeterminism,
 	}

@@ -27,11 +27,14 @@ func (p *Pool) Ablation(benchmark string) (*Table, error) {
 
 	base := config.K20m()
 	// One spec per variant; MakePolicy builds a fresh controller per
-	// attempt so pooled (and retried) variants never share state.
+	// attempt so pooled (and retried) variants never share state. The
+	// PolicyTag names the closure so variants stay content-addressable
+	// (resumable) despite carrying a MakePolicy.
 	variant := func(label string, cfg config.GPU, mutate func(*spawn.Controller)) (string, Spec) {
 		return label, Spec{
 			Benchmark: benchmark,
 			Config:    &cfg,
+			PolicyTag: "spawn-ablation:" + label,
 			MakePolicy: func(cfg config.GPU) kernel.Policy {
 				ctrl := spawn.New(cfg)
 				if mutate != nil {

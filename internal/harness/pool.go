@@ -5,6 +5,8 @@ import (
 	"fmt"
 	gort "runtime"
 	"sync"
+
+	"spawnsim/internal/store"
 )
 
 // Pool is the harness's deterministic worker-pool sweep engine. It
@@ -56,6 +58,17 @@ type Pool struct {
 	// output — callers must keep it out of result artifacts (stderr
 	// heartbeats, status lines).
 	Progress func(PoolProgress)
+	// Store, when non-nil, memoizes completed runs by their canonical
+	// spec hash (see internal/store and memo.go): points whose results
+	// are already stored replay instead of re-running, which is what
+	// makes an interrupted sweep resumable with byte-identical
+	// artifacts. Nil disables memoization.
+	Store *store.Store
+	// Journal, when non-nil, receives one append per completed sweep
+	// point (ok / replayed / failed / quarantined) — the ledger a
+	// resumed invocation reads back for progress reporting. Appends are
+	// serialized by the journal itself, so workers share it directly.
+	Journal *store.Journal
 }
 
 // PoolProgress is one sweep-level progress event (see Pool.Progress).
@@ -111,13 +124,15 @@ func (p *Pool) adopt(s Spec, ctx context.Context) Spec {
 
 // runAny dispatches one adopted spec: offline specs expand into a
 // serial sweep inside the worker (their candidates inherit the adopted
-// observer/defaults/context, so collector serialization still holds),
-// everything else is a single run.
-func runAny(spec Spec) (*Outcome, error) {
+// observer/defaults/context — so collector serialization still holds —
+// plus the pool's store and journal, so sweep points inside an offline
+// expansion memoize too), everything else is a single memoized run.
+func (p *Pool) runAny(spec Spec) (*Outcome, error) {
 	if spec.Scheme == SchemeOffline {
-		return (&Pool{Workers: 1, Context: spec.Context}).OfflineSearch(spec)
+		inner := &Pool{Workers: 1, Context: spec.Context, Store: p.Store, Journal: p.Journal}
+		return inner.OfflineSearch(spec)
 	}
-	return runSpec(spec)
+	return p.runMemo(spec)
 }
 
 // RunSpec executes one spec through the pool: a plain spec runs once;
@@ -126,7 +141,7 @@ func (p *Pool) RunSpec(spec Spec) (*Outcome, error) {
 	if spec.Scheme == SchemeOffline {
 		return p.OfflineSearch(spec)
 	}
-	return runSpec(p.adopt(spec, p.context()))
+	return p.runMemo(p.adopt(spec, p.context()))
 }
 
 // Run executes the specs and returns their outcomes in submission
@@ -187,7 +202,7 @@ func (p *Pool) runSerial(specs []Spec, stopOnErr bool) (outs []*Outcome, errs []
 			p.Progress(PoolProgress{Done: done, Total: len(specs),
 				Benchmark: specs[i].Benchmark, Scheme: specs[i].Scheme, Started: true})
 		}
-		out, err := runAny(p.adopt(specs[i], ctx))
+		out, err := p.runAny(p.adopt(specs[i], ctx))
 		outs[i], errs[i] = out, err
 		done++
 		if p.Progress != nil {
@@ -271,7 +286,7 @@ func (p *Pool) runParallel(specs []Spec, stopOnErr bool) (outs []*Outcome, errs 
 					obsCh <- obsEvent{prog: &PoolProgress{Total: len(specs), Worker: worker,
 						Benchmark: s.Benchmark, Scheme: s.Scheme, Started: true}}
 				}
-				out, err := runAny(s)
+				out, err := p.runAny(s)
 				if stop != nil {
 					stop()
 				}
@@ -357,6 +372,20 @@ func (p *Pool) OfflineSearch(spec Spec) (*Outcome, error) {
 			failures = append(failures, RunFailure{Scheme: candidates[i].Scheme, Err: errs[i]})
 			continue
 		}
+		if outs[i].Quarantined() {
+			// A tolerant candidate that exhausted its retry budget: its
+			// partial result must not compete for the win (an aborted run
+			// can have deceptively few cycles), but the sweep records it.
+			for _, f := range outs[i].Failures {
+				if f.Quarantined {
+					failures = append(failures, RunFailure{
+						Scheme: candidates[i].Scheme, Err: f.Err,
+						Quarantined: true, Attempts: f.Attempts,
+					})
+				}
+			}
+			continue
+		}
 		if betterOutcome(outs[i], best) {
 			best = outs[i]
 		}
@@ -371,7 +400,7 @@ func (p *Pool) OfflineSearch(spec Spec) (*Outcome, error) {
 	if spec.Metrics != nil || len(spec.TraceSinks) > 0 {
 		s := spec
 		s.Scheme = fmt.Sprintf("threshold:%d", best.Threshold)
-		out, err := runSpec(s)
+		out, err := p.runMemo(s)
 		if err != nil {
 			// The instrumented re-run of the winner failed (possible under
 			// chaos); keep the uninstrumented result and record it.

@@ -5,7 +5,6 @@ package harness
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -66,6 +65,12 @@ type Spec struct {
 	// start from a fresh policy instead of one carrying state from the
 	// failed attempt. The Pool uses this for ablation variants.
 	MakePolicy func(config.GPU) kernel.Policy
+	// PolicyTag names the MakePolicy closure for content-addressing: two
+	// specs with the same tag (and otherwise equal resolved fields) must
+	// build behaviorally identical policies. Specs carrying a MakePolicy
+	// without a tag are uncacheable — the harness cannot hash a closure —
+	// so they always run live and are never stored or replayed.
+	PolicyTag string
 	// ChildCTASize overrides the app's child CTA dimension (Figure 7).
 	ChildCTASize int
 	// StreamMode selects SWQ assignment (Figure 8).
@@ -129,6 +134,33 @@ type Spec struct {
 	// each under a seed derived from the plan's (attempt 0 keeps the
 	// plan's own seed, so unretried runs stay exactly reproducible).
 	Retries int
+	// RetryBackoff, when non-zero, sleeps before each retry attempt with
+	// capped exponential growth (base, 2x, 4x, ... capped at 16x). The
+	// sleep is purely harness-side wall time: the derived-seed schedule
+	// and every simulated artifact stay byte-identical with or without
+	// backoff. A set Context cuts the sleep short on cancellation.
+	RetryBackoff time.Duration
+	// Tolerate, when set, degrades gracefully once the retry budget is
+	// exhausted (or the failure is permanent): instead of failing the
+	// run, the last attempt's partial Outcome is returned with the
+	// failure quarantined into Outcome.Failures, so a sweep keeps its
+	// shape with the sick point marked rather than aborting. Runs that
+	// produce no partial Outcome at all (e.g. spec validation errors)
+	// still fail.
+	Tolerate bool
+	// StallWindow, when non-zero, arms the simulator's cycle-progress
+	// watchdog (sim.Options.StallWindow): a run making no forward
+	// progress for this many scheduler steps aborts with an
+	// AbortStalled carrying a machine snapshot, instead of spinning to
+	// its cycle budget.
+	StallWindow uint64
+	// StallTimeout, when non-zero, arms the harness's wall-clock stall
+	// guard: if the simulator delivers no heartbeat for this long in
+	// wall time — the process is wedged below the cycle loop, or the
+	// run is pathologically slow — the run is canceled and the abort is
+	// reported as AbortStalled. Complements StallWindow, which watches
+	// simulated progress and cannot see wall-clock hangs.
+	StallTimeout time.Duration
 }
 
 // Outcome bundles a run's result with its context.
@@ -151,8 +183,30 @@ type Outcome struct {
 	// fault plan was active).
 	FaultsInjected uint64
 	// Failures lists runs a sweep skipped after they failed
-	// (Offline-Search candidates); empty for single runs.
+	// (Offline-Search candidates) and quarantined failures of tolerant
+	// runs (Spec.Tolerate); empty otherwise.
 	Failures []RunFailure
+	// Attempts is how many simulation attempts produced this outcome
+	// (1 for an unretried run, 0 for an outcome replayed from the
+	// result store).
+	Attempts int
+	// Replayed marks an outcome served from the result store instead of
+	// a live simulation.
+	Replayed bool
+}
+
+// Quarantined reports whether this outcome carries a quarantined
+// failure: the run (or, for sweeps, this winning candidate) exhausted
+// its retry budget under Spec.Tolerate and returned its partial result
+// instead of an error. Quarantined outcomes are excluded from sweep
+// winner selection and never enter the result store.
+func (o *Outcome) Quarantined() bool {
+	for _, f := range o.Failures {
+		if f.Quarantined {
+			return true
+		}
+	}
+	return false
 }
 
 // RunFailure records one failed run inside a sweep.
@@ -160,6 +214,12 @@ type RunFailure struct {
 	// Scheme is the candidate that failed (e.g. "threshold:64").
 	Scheme string
 	Err    error
+	// Quarantined marks a tolerant run's own failure (Spec.Tolerate):
+	// the outcome carrying this record is the failing run's partial
+	// result, not a healthy sweep winner.
+	Quarantined bool
+	// Attempts is how many attempts the failing run consumed.
+	Attempts int
 }
 
 func (s Spec) config() config.GPU {
@@ -310,37 +370,55 @@ func runSpec(spec Spec) (*Outcome, error) {
 	var lastOut *Outcome
 	var lastErr error
 	for attempt := 0; attempt <= spec.Retries; attempt++ {
+		if attempt > 0 {
+			// Backoff is pure wall time between attempts; the derived-seed
+			// schedule below is a function of the attempt number alone, so
+			// sleeping (or not) never changes what any attempt simulates.
+			sleepBackoff(spec.Context, spec.RetryBackoff, attempt)
+		}
 		out, err := runOnce(spec, cfg, makePol(cfg), app, def, attempt)
-		if err == nil {
+		if out != nil {
+			out.Attempts = attempt + 1
 			if thr >= 0 {
 				out.Threshold = thr
 			}
+		}
+		if err == nil {
 			return out, nil
 		}
 		lastOut, lastErr = out, err
-		if !retryable(spec, err) {
+		if !transientErr(&spec, err) {
 			break
 		}
 	}
-	if lastOut != nil && thr >= 0 {
-		lastOut.Threshold = thr
+	if spec.Tolerate && lastOut != nil {
+		// Budget exhausted (or the failure was permanent) under a tolerant
+		// spec: quarantine the failure into the partial outcome instead of
+		// failing the sweep point. The caller sees a nil error; the
+		// quarantine record carries what happened.
+		lastOut.Failures = append(lastOut.Failures, RunFailure{
+			Scheme:      failureLabel(&spec),
+			Err:         lastErr,
+			Quarantined: true,
+			Attempts:    lastOut.Attempts,
+		})
+		return lastOut, nil
 	}
 	return lastOut, lastErr
 }
 
-// retryable reports whether a failed run may succeed under a derived
-// fault seed: only fault-injected runs are transient, and never
-// caller-initiated aborts (cancellation, deadlines).
-func retryable(spec Spec, err error) bool {
-	if spec.FaultPlan == nil || spec.FaultPlan.Zero() {
-		return false
+// failureLabel names a run in failure records: the scheme when the spec
+// has one, the policy tag for tagged custom policies, else a fixed
+// placeholder.
+func failureLabel(s *Spec) string {
+	switch {
+	case s.Scheme != "":
+		return s.Scheme
+	case s.PolicyTag != "":
+		return s.PolicyTag
+	default:
+		return "custom-policy"
 	}
-	var abort *sim.AbortError
-	if errors.As(err, &abort) {
-		return abort.Kind != sim.AbortCanceled && abort.Kind != sim.AbortDeadline
-	}
-	// Recovered panics under chaos are treated as transient.
-	return true
 }
 
 // retrySeed derives the attempt-specific fault seed. Attempt 0 keeps
@@ -386,12 +464,15 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 	if spec.Profile != nil {
 		prof = profile.New(cfg.NumSMX, *spec.Profile)
 	}
+	guard := armStallGuard(&spec)
+	defer guard.stop()
 	g, err := sim.NewChecked(sim.Options{
 		Config:          cfg,
 		Policy:          pol,
 		StreamMode:      spec.StreamMode,
 		SampleInterval:  kernel.Cycle(spec.SampleInterval),
 		MaxCycles:       kernel.Cycle(spec.MaxCycles),
+		StallWindow:     kernel.Cycle(spec.StallWindow),
 		Trace:           ring,
 		Sinks:           spec.TraceSinks,
 		Metrics:         reg,
@@ -408,6 +489,7 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 	}
 	g.LaunchHost(def)
 	res, runErr := g.Run()
+	runErr = guard.rewrap(runErr)
 	if runErr != nil {
 		err = fmt.Errorf("harness: %s/%s: %w", spec.Benchmark, pol.Name(), runErr)
 		if res == nil {

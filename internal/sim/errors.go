@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"spawnsim/internal/sim/kernel"
 )
@@ -30,6 +31,14 @@ const (
 	// AbortInvariant: the Options.CheckInvariants auditor found a broken
 	// conservation law (the underlying *InvariantError is in Err).
 	AbortInvariant
+	// AbortStalled: the watchdog saw no forward progress — no issued
+	// instruction, placed CTA, launch decision, arrival, or completed
+	// kernel — for Options.StallWindow consecutive scheduler steps
+	// while the clock kept advancing (a livelock, e.g. a policy
+	// deferring forever), or the harness's wall-clock stall guard
+	// fired. The Stall field carries a snapshot of where the machine
+	// was stuck.
+	AbortStalled
 )
 
 func (k AbortKind) String() string {
@@ -44,6 +53,8 @@ func (k AbortKind) String() string {
 		return "deadline"
 	case AbortInvariant:
 		return "invariant"
+	case AbortStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("abort(%d)", uint8(k))
 	}
@@ -64,6 +75,36 @@ type AbortError struct {
 	// Detail carries kind-specific context (queue depths for deadlocks,
 	// the configured bound for max-cycles).
 	Detail string
+	// Stall is the machine snapshot of an AbortStalled abort (nil for
+	// every other kind, and for the harness's wall-clock guard, which
+	// has no cycle-accurate view of the engine).
+	Stall *StallSnapshot
+}
+
+// StallSnapshot records where the machine was stuck when the cycle
+// watchdog fired: the quiesced-but-ticking state the stall window
+// covered, with every component classified through the same
+// busy/idle/stall taxonomy the cycle-attribution profiler uses
+// (internal/profile), so a stall report reads like one profiler tick.
+type StallSnapshot struct {
+	// Window is the configured stall window (in scheduler steps);
+	// LastProgress is the last cycle at which the engine made forward
+	// progress.
+	Window       kernel.Cycle
+	LastProgress kernel.Cycle
+	// Queue and occupancy state at the abort cycle.
+	QueuedKernels int
+	PendingCTAs   int
+	ActiveWarps   int64
+	// Components maps each machine component to its profiler-taxonomy
+	// state ("gmu=stall-dispatch", "smx3=idle", ...), in fixed order.
+	Components []string
+}
+
+func (s *StallSnapshot) String() string {
+	return fmt.Sprintf("no progress for %d scheduler steps (last at cycle %d): %d queued kernels, %d pending CTAs, %d active warps; %s",
+		s.Window, s.LastProgress, s.QueuedKernels, s.PendingCTAs, s.ActiveWarps,
+		strings.Join(s.Components, " "))
 }
 
 func (e *AbortError) Error() string {

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"spawnsim/internal/config"
@@ -36,6 +37,17 @@ type Options struct {
 	SampleInterval kernel.Cycle
 	// MaxCycles aborts the run when exceeded (0 = DefaultMaxCycles).
 	MaxCycles kernel.Cycle
+	// StallWindow, when non-zero, arms the cycle-progress watchdog: if
+	// the machine makes no forward progress — no issued instruction,
+	// launch decision, CTA placement, kernel arrival or completion —
+	// for StallWindow consecutive scheduler steps (spanning at least
+	// StallWindow cycles), the run aborts with AbortStalled and a
+	// StallSnapshot instead of spinning to MaxCycles. A quiescent
+	// fast-forward (warps blocked on memory or children in flight)
+	// counts as one step regardless of its cycle span, so legitimate
+	// waits never trip the window; only livelock — e.g. a policy
+	// deferring the same candidates forever — accumulates toward it.
+	StallWindow kernel.Cycle
 	// DTBLLaunchCycles is the latency for a DTBL CTA-group launch
 	// (0 = default 150 cycles; DTBL's point is that it is tiny compared
 	// to the kernel launch overhead).
@@ -186,6 +198,21 @@ type GPU struct {
 	sinks     []trace.Sink
 	prof      *profile.Profile
 
+	// Watchdog state (see Options.StallWindow). progress counts forward-
+	// progress events; the Run loop latches it into progressSeen and
+	// counts progress-free scheduler steps in noProgress, aborting when
+	// that reaches stallWindow. Counting steps rather than raw cycles is
+	// what keeps the watchdog both sound and quiet: a quiescent
+	// fast-forward over a long memory or child wait is one step no matter
+	// how many cycles it spans, while a defer livelock — activity every
+	// wakeup but never a decision — accumulates a step per wakeup until
+	// the window trips.
+	stallWindow       kernel.Cycle
+	progress          uint64
+	progressSeen      uint64
+	noProgress        kernel.Cycle
+	lastProgressCycle kernel.Cycle
+
 	inj *faults.Injector
 
 	checkInv bool
@@ -259,17 +286,18 @@ func NewChecked(opts Options) (*GPU, error) {
 		}
 	}
 	g := &GPU{
-		cfg:       opts.Config,
-		pol:       opts.Policy,
-		mode:      opts.StreamMode,
-		mem:       mem.NewHierarchy(opts.Config),
-		gmu:       gmu.New(opts.Config),
-		maxCycles: opts.MaxCycles,
-		dtblLat:   opts.DTBLLaunchCycles,
-		checkInv:  opts.CheckInvariants,
-		invEvery:  opts.InvariantEvery,
-		ctx:       opts.Context,
-		deadline:  opts.Deadline,
+		cfg:         opts.Config,
+		pol:         opts.Policy,
+		mode:        opts.StreamMode,
+		mem:         mem.NewHierarchy(opts.Config),
+		gmu:         gmu.New(opts.Config),
+		maxCycles:   opts.MaxCycles,
+		dtblLat:     opts.DTBLLaunchCycles,
+		stallWindow: opts.StallWindow,
+		checkInv:    opts.CheckInvariants,
+		invEvery:    opts.InvariantEvery,
+		ctx:         opts.Context,
+		deadline:    opts.Deadline,
 	}
 	if opts.Trace != nil {
 		g.sinks = append(g.sinks, opts.Trace)
@@ -585,6 +613,7 @@ func (g *GPU) stepLaunch(now kernel.Cycle, w *kernel.Warp) {
 			panic(kernel.Invariantf(now, "sim", "unknown action %v from policy %s", dec.Action, g.pol.Name()))
 		}
 		w.LaunchCursor++
+		g.progress++ // a decided candidate is forward progress; a Defer is not
 	}
 	w.InLaunch = false
 	if busy < 1 {
@@ -679,6 +708,7 @@ func (g *GPU) completeKernel(now kernel.Cycle, k *kernel.Kernel) {
 	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
 	g.gmu.KernelCompleted(k)
 	g.liveKernels--
+	g.progress++
 	if p := k.Parent; p != nil {
 		p.OutstandingChildren--
 		if p.OutstandingChildren == 0 && p.State == kernel.CTAWaitingSync {
@@ -780,6 +810,7 @@ func (g *GPU) place(k *kernel.Kernel) bool {
 		if k.IsChild() {
 			g.pol.OnChildCTAStart(g.clock)
 		}
+		g.progress++
 		return true
 	}
 	g.mStalls.Inc()
@@ -792,6 +823,12 @@ func (g *GPU) execute(now kernel.Cycle, w *kernel.Warp) {
 		g.stepLaunch(now, w)
 		return
 	}
+	// Advancing a warp's program — issuing any instruction or retiring —
+	// is forward progress for the stall watchdog. Resumed launch
+	// decisions are not counted here: stepLaunch credits only decisions
+	// that actually advance the cursor, so a policy deferring forever
+	// cannot feed the watchdog.
+	g.progress++
 	in := &g.instr
 	in.Reset()
 	if !w.Prog.Next(&w.Exec, in) {
@@ -833,6 +870,7 @@ func (g *GPU) processArrivals(now kernel.Cycle) bool {
 		g.mTransit.Observe(uint64(now - it.k.LaunchCycle))
 		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelArrived, Kernel: it.k.ID, CTA: -1})
 		g.gmu.Enqueue(it.k)
+		g.progress++
 		any = true
 	}
 	return any
@@ -868,6 +906,39 @@ func (g *GPU) abort(kind AbortKind, now kernel.Cycle, cause error, detail string
 		LiveKernels: g.liveKernels,
 		Err:         cause,
 		Detail:      detail,
+	}
+}
+
+// abortStalled snapshots the stuck machine for an AbortStalled abort:
+// queue depths plus every component classified through the profiler's
+// busy/idle/stall taxonomy, so the error reads like one attribution
+// tick of the place the run wedged.
+func (g *GPU) abortStalled(now kernel.Cycle) (*Result, error) {
+	snap := &StallSnapshot{
+		Window:        g.stallWindow,
+		LastProgress:  g.lastProgressCycle,
+		QueuedKernels: g.gmu.QueuedKernels(),
+		PendingCTAs:   g.gmu.PendingCTAs(),
+		ActiveWarps:   g.activeWarps.Level(),
+	}
+	comps := make([]string, 0, 2+len(g.smxs))
+	//spawnvet:allow hotpath abortStalled runs at most once per run, on the abort return path, never per cycle
+	comps = append(comps,
+		//spawnvet:allow hotpath cold abort path; formatting the one terminal snapshot
+		"gmu="+g.gmu.DispatchState(false, 0, g.gmu.HasDispatchable()).String(),
+		//spawnvet:allow hotpath cold abort path; formatting the one terminal snapshot
+		"hwq="+g.gmu.QueueState(0).String())
+	for _, m := range g.smxs {
+		//spawnvet:allow hotpath cold abort path; formatting the one terminal snapshot
+		comps = append(comps, "smx"+strconv.Itoa(m.ID)+"="+m.ActivityState(false).String())
+	}
+	snap.Components = comps
+	return g.result(), &AbortError{
+		Kind:        AbortStalled,
+		Cycle:       now,
+		LiveKernels: g.liveKernels,
+		Detail:      snap.String(),
+		Stall:       snap,
 	}
 }
 
@@ -918,6 +989,15 @@ func (g *GPU) Run() (*Result, error) {
 			if !wallDeadline.IsZero() && time.Now().After(wallDeadline) {
 				return g.abort(AbortDeadline, now, context.DeadlineExceeded,
 					fmt.Sprintf("wall-clock deadline %v elapsed", g.deadline))
+			}
+		}
+		if g.stallWindow > 0 {
+			if g.progress != g.progressSeen {
+				g.progressSeen = g.progress
+				g.lastProgressCycle = now
+				g.noProgress = 0
+			} else if g.noProgress++; g.noProgress >= g.stallWindow {
+				return g.abortStalled(now)
 			}
 		}
 		if g.checkInv && now >= g.invNext {
@@ -984,6 +1064,10 @@ func (g *GPU) Run() (*Result, error) {
 			g.clock = now + 1
 		} else {
 			g.prof.SkipTo(uint64(now), uint64(next))
+			// A quiescent fast-forward is a legitimate wait on a known
+			// future event (memory, launch transit, a fault window
+			// clearing). The watchdog charges it as a single step, so the
+			// skipped span never inflates the stall count.
 			g.clock = next
 		}
 	}

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -142,6 +143,31 @@ func (t *TimeWeighted) Average(endCycle uint64) float64 {
 type Histogram struct {
 	samples []float64
 	sorted  bool
+}
+
+// MarshalJSON serializes the retained samples so results carrying a
+// histogram round-trip through the harness's content-addressed store.
+// Samples are written in their current in-memory order; every derived
+// statistic (Mean, Quantile, PDF, FractionWithin) is order-independent
+// or sorts internally, so a decoded histogram reproduces the original's
+// outputs exactly.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Samples []float64 `json:"samples"`
+	}{h.samples})
+}
+
+// UnmarshalJSON restores a histogram serialized by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Samples []float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("stats: decode histogram: %w", err)
+	}
+	h.samples = raw.Samples
+	h.sorted = false
+	return nil
 }
 
 // Add records one sample.

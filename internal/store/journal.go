@@ -1,0 +1,158 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry statuses recorded in the journal.
+const (
+	// StatusOK: the point ran live and completed successfully.
+	StatusOK = "ok"
+	// StatusReplayed: the point was served from the result store.
+	StatusReplayed = "replayed"
+	// StatusFailed: the point failed after exhausting its retry budget.
+	StatusFailed = "failed"
+	// StatusQuarantined: the point failed, exhausted its budget, and was
+	// recorded as a graceful degradation (Spec.Tolerate).
+	StatusQuarantined = "quarantined"
+)
+
+// Entry is one completed sweep point in the journal ledger.
+type Entry struct {
+	// V versions the journal schema.
+	V int `json:"v"`
+	// Key is the point's content address in the result store (empty for
+	// uncacheable specs, e.g. closures without a PolicyTag).
+	Key string `json:"key,omitempty"`
+	// Benchmark and Scheme identify the run for human readers; the Key
+	// is the authoritative identity.
+	Benchmark string `json:"bench"`
+	Scheme    string `json:"scheme"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// Attempts is how many simulation attempts the point consumed
+	// (0 for replays).
+	Attempts int `json:"attempts,omitempty"`
+	// Err carries the failure message for failed/quarantined points.
+	Err string `json:"err,omitempty"`
+}
+
+// journalVersion is the current Entry schema version.
+const journalVersion = 1
+
+// Journal is an append-only JSONL ledger of completed sweep points.
+// Each Append writes one line as the point lands, so a sweep killed at
+// any instant leaves a readable prefix: at worst the final line is torn
+// and the tolerant loader drops it. Append is safe for concurrent use
+// (worker goroutines of a parallel pool share one journal).
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// prior holds the entries read from an existing journal file at
+	// open time — the completed points of the interrupted sweep being
+	// resumed.
+	prior []Entry
+}
+
+// OpenJournal opens (creating if absent) the journal at path and loads
+// any entries a previous invocation left behind. Corrupt or truncated
+// lines — the signature of a sweep killed mid-append — are skipped,
+// not fatal: the points they would have described simply re-run.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, fmt.Errorf("store: empty journal path")
+	}
+	prior := loadEntries(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, prior: prior}, nil
+}
+
+// loadEntries reads a journal file tolerantly: unreadable files yield
+// no entries, and individual lines that fail to parse (torn tail after
+// a SIGKILL, bit rot, schema drift) are dropped.
+func loadEntries(path string) []Entry {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		if e.V != journalVersion {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Prior returns the entries loaded from the journal file at open time,
+// in file order. The slice is owned by the journal; callers must not
+// mutate it.
+func (j *Journal) Prior() []Entry {
+	if j == nil {
+		return nil
+	}
+	return j.prior
+}
+
+// Path reports the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Append writes one completed point to the ledger. The line lands with
+// a single write call after the entry is fully serialized, so readers
+// of a live journal see whole lines (modulo the final one during a
+// crash, which the loader tolerates). A nil journal no-ops.
+func (j *Journal) Append(e Entry) error {
+	if j == nil {
+		return nil
+	}
+	e.V = journalVersion
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("store: close journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	key, err := Key("test-v1", struct{ A, B string }{"x", "y"})
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	want := []byte(`{"cycles":123}`)
+	if err := s.Put(key, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	// Overwrite is atomic and replaces the payload.
+	want2 := []byte(`{"cycles":456}`)
+	if err := s.Put(key, want2); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != string(want2) {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+}
+
+func TestKeyIsStableAndSensitive(t *testing.T) {
+	type desc struct{ Bench, Scheme string }
+	a1, err := Key("v1", desc{"MM-small", "spawn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := Key("v1", desc{"MM-small", "spawn"})
+	if a1 != a2 {
+		t.Fatalf("identical descriptions hashed differently: %s vs %s", a1, a2)
+	}
+	b, _ := Key("v1", desc{"MM-small", "flat"})
+	if a1 == b {
+		t.Fatal("different descriptions collided")
+	}
+	v2, _ := Key("v2", desc{"MM-small", "spawn"})
+	if a1 == v2 {
+		t.Fatal("version bump did not invalidate the key")
+	}
+}
+
+func TestStoreCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	key, _ := Key("v1", "point")
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Truncate the entry to zero bytes: a miss, not a hit on garbage.
+	if err := os.WriteFile(s.path(key), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty entry reported as a hit")
+	}
+	// A missing shard directory is also just a miss.
+	if _, ok := s.Get("feedfacedeadbeef"); ok {
+		t.Fatal("absent entry reported as a hit")
+	}
+	// Nil stores ignore both operations.
+	var nils *Store
+	if _, ok := nils.Get(key); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := nils.Put(key, []byte("x")); err != nil {
+		t.Fatalf("nil store Put: %v", err)
+	}
+}
+
+func TestJournalAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(j.Prior()) != 0 {
+		t.Fatalf("fresh journal has %d prior entries", len(j.Prior()))
+	}
+	entries := []Entry{
+		{Key: "k1", Benchmark: "MM-small", Scheme: "flat", Status: StatusOK, Attempts: 1},
+		{Key: "k2", Benchmark: "MM-small", Scheme: "spawn", Status: StatusFailed, Attempts: 3, Err: "boom"},
+		{Key: "", Benchmark: "MM-small", Scheme: "ablate", Status: StatusQuarantined, Attempts: 2, Err: "stuck"},
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := j2.Prior()
+	if len(got) != len(entries) {
+		t.Fatalf("reloaded %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		g := got[i]
+		if g.Key != e.Key || g.Benchmark != e.Benchmark || g.Scheme != e.Scheme ||
+			g.Status != e.Status || g.Attempts != e.Attempts || g.Err != e.Err {
+			t.Errorf("entry %d: got %+v, want %+v", i, g, e)
+		}
+	}
+}
+
+func TestJournalToleratesCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Entry{Key: "k1", Benchmark: "b", Scheme: "s1", Status: StatusOK})
+	j.Append(Entry{Key: "k2", Benchmark: "b", Scheme: "s2", Status: StatusOK})
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 journal lines, got %d", len(lines))
+	}
+	// Corrupt the first line, keep the second, and append a torn tail —
+	// the shape a SIGKILL mid-append leaves behind.
+	mangled := "{not json}\n" + lines[1] + "\n" + `{"v":1,"key":"k3","bench":"b","sch`
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen over corruption: %v", err)
+	}
+	defer j2.Close()
+	got := j2.Prior()
+	if len(got) != 1 || got[0].Key != "k2" {
+		t.Fatalf("tolerant load = %+v, want only the intact k2 entry", got)
+	}
+	// The reopened journal still appends cleanly after corruption.
+	if err := j2.Append(Entry{Key: "k4", Benchmark: "b", Scheme: "s4", Status: StatusOK}); err != nil {
+		t.Fatalf("append after corruption: %v", err)
+	}
+}
+
+func TestJournalEntrySchemaVersionGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	future := `{"v":99,"key":"k","bench":"b","scheme":"s","status":"ok"}` + "\n"
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(j.Prior()) != 0 {
+		t.Fatalf("foreign-version entry was loaded: %+v", j.Prior())
+	}
+}
