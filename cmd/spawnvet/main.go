@@ -1,8 +1,8 @@
 // Command spawnvet is the project's static-analysis driver. It loads
 // the module with the standard library's parser and type checker (no
-// external tooling) and runs eight analyzers over it: determinism,
+// external tooling) and runs ten analyzers over it: determinism,
 // hotpath, invariants, errwrap, metricshygiene, seedtaint, exhaustive,
-// and units.
+// units, purity, and sharedstate.
 //
 // Usage:
 //

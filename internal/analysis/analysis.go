@@ -97,6 +97,8 @@ func Analyzers() []*Analyzer {
 		SeedTaintAnalyzer(),
 		ExhaustiveAnalyzer(),
 		UnitsAnalyzer(),
+		PurityAnalyzer(),
+		SharedStateAnalyzer(),
 	}
 }
 
@@ -120,6 +122,16 @@ func pathWithin(prefixes ...string) func(string) bool {
 			}
 		}
 		return false
+	}
+}
+
+// pathWithinOrRoot matches like pathWithin and additionally covers the
+// module root package itself (an import path with no "/" separator —
+// the CLIs' shared benchmark drivers live there).
+func pathWithinOrRoot(prefixes ...string) func(string) bool {
+	within := pathWithin(prefixes...)
+	return func(pkgPath string) bool {
+		return within(pkgPath) || !strings.Contains(pkgPath, "/")
 	}
 }
 
@@ -227,6 +239,17 @@ const (
 	// DirectiveHotPath marks a function declaration as a hot-path root
 	// for the hotpath analyzer: //spawnvet:hotpath
 	DirectiveHotPath
+	// DirectivePure asserts, in a function's doc comment, that the
+	// function honors the purity contract (no package-level writes, no
+	// ambient I/O, no input-pointer retention) even though the purity
+	// analyzer cannot prove it — dynamic dispatch inside, or effects the
+	// author has vetted as run-invisible. The analyzer treats the
+	// function as an opaque pure leaf: it does not descend into the
+	// body. The justification is mandatory; a bare //spawnvet:pure is a
+	// malformed-directive diagnostic and confers no trust (fails closed):
+	//
+	//	//spawnvet:pure table lookup over data frozen at construction
+	DirectivePure
 )
 
 // Directive is one parsed //spawnvet:... comment.
@@ -270,6 +293,17 @@ func (p *Package) scanDirectives() {
 				switch {
 				case text == "hotpath":
 					d.Kind = DirectiveHotPath
+				case strings.HasPrefix(text, "pure"):
+					d.Kind = DirectivePure
+					rest := strings.TrimPrefix(text, "pure")
+					if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+						d.Err = fmt.Sprintf("unknown spawnvet directive %q", "//spawnvet:"+text)
+						break
+					}
+					d.Justification = strings.TrimSpace(rest)
+					if d.Justification == "" {
+						d.Err = "//spawnvet:pure needs a justification (why the function honors the purity contract)"
+					}
 				case strings.HasPrefix(text, "allow"):
 					d.Kind = DirectiveAllow
 					rest := strings.TrimPrefix(text, "allow")
@@ -330,6 +364,30 @@ func (p *Package) hotPathMarked(fn *ast.FuncDecl) bool {
 	for _, c := range fn.Doc.List {
 		if strings.TrimSpace(c.Text) == "//spawnvet:hotpath" {
 			return true
+		}
+	}
+	return false
+}
+
+// pureMarked reports whether the function declaration carries a valid
+// //spawnvet:pure directive (with justification) in its doc comment.
+// Malformed pure directives confer no trust: they surface as directive
+// diagnostics and the function stays subject to full analysis.
+func (p *Package) pureMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	p.scanDirectives()
+	for _, c := range fn.Doc.List {
+		if !strings.HasPrefix(c.Text, "//spawnvet:pure") {
+			continue
+		}
+		pos := p.Fset.Position(c.Pos())
+		for _, d := range p.directives {
+			if d.Kind == DirectivePure && d.Err == "" &&
+				d.Pos.Filename == pos.Filename && d.Pos.Line == pos.Line {
+				return true
+			}
 		}
 	}
 	return false

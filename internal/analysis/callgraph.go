@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the interprocedural layer the purity analyzer builds on:
+// bottom-up function summaries stitched into a module-wide call graph.
+// Each package pass contributes one funcSummary per function
+// declaration (direct effects + static callee edges); after every
+// package has been analyzed, the analyzer closes the graph over its
+// roots and attributes each function's direct effects to the call
+// chains that reach it.
+//
+// The engine mirrors the intraprocedural dataflow engine's design
+// choices (dataflow.go): it is deliberately over-approximate in the
+// safe direction, capped so pathological graphs stay cheap, and opaque
+// at boundaries it cannot see through. Concretely:
+//
+//   - dynamic dispatch (interface methods, func-typed values and
+//     fields) is an opaque boundary assumed to honor the contract of
+//     its declaration site — the callee cannot be resolved statically;
+//   - out-of-module callees carry no summary; they are classified by
+//     the per-analyzer external-call tables (ambient I/O packages,
+//     PureFuncs) instead of traversed;
+//   - exceeding the caps degrades to an explicit "unverifiable"
+//     diagnostic, never to silent trust.
+const (
+	// callGraphDepthCap bounds root-to-leaf chain length during
+	// traversal; deeper chains report as unverifiable.
+	callGraphDepthCap = 64
+	// callGraphFanCap bounds the static callee edges recorded per
+	// function; a function exceeding it is summarized as unverifiable.
+	callGraphFanCap = 128
+)
+
+// effectKind classifies one direct effect recorded in a summary.
+type effectKind uint8
+
+const (
+	// effectGlobalWrite: an assignment whose target is (or aliases) a
+	// package-level variable.
+	effectGlobalWrite effectKind = iota
+	// effectAmbientIO: a call into the ambient-I/O surface of the
+	// standard library (os, net, wall clock, global rand, console fmt).
+	effectAmbientIO
+	// effectLeak: a package-level write whose value retains a pointer
+	// that flowed in through a parameter — caller memory escaping into
+	// state that outlives the call.
+	effectLeak
+)
+
+// effect is one direct contract violation found in a function body.
+type effect struct {
+	kind effectKind
+	pos  token.Pos
+	// what names the offender: the written variable, the ambient callee,
+	// the leaked parameter.
+	what string
+}
+
+// funcSummary is the bottom-up summary of one function declaration.
+type funcSummary struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	// effects are the function's direct violations, in source order.
+	effects []effect
+	// callees are the module-resolvable static call edges, deduplicated
+	// in first-call order; calleePos holds the first call site of each.
+	callees   []*types.Func
+	calleePos map[*types.Func]token.Pos
+	// overflow marks callee fan-cap exhaustion: the summary is
+	// incomplete and the function must report as unverifiable.
+	overflow bool
+	// trusted marks a valid //spawnvet:pure directive: the function is
+	// an opaque pure leaf and is neither descended into nor reported.
+	trusted bool
+}
+
+// addCallee records one static call edge, deduplicated, fan-capped.
+func (s *funcSummary) addCallee(fn *types.Func, pos token.Pos) {
+	if s.overflow {
+		return
+	}
+	if _, seen := s.calleePos[fn]; seen {
+		return
+	}
+	if len(s.callees) >= callGraphFanCap {
+		s.overflow = true
+		return
+	}
+	s.calleePos[fn] = pos
+	s.callees = append(s.callees, fn)
+}
+
+// displayName renders a function for call-chain diagnostics:
+// pkg.Name for functions, pkg.(Recv).Name for methods.
+func (s *funcSummary) displayName() string {
+	name := s.obj.Name()
+	pkg := ""
+	if s.obj.Pkg() != nil {
+		pkg = s.obj.Pkg().Name() + "."
+	}
+	if s.decl.Recv != nil && len(s.decl.Recv.List) > 0 {
+		if rt := recvTypeName(s.decl); rt != "" {
+			return pkg + "(" + rt + ")." + name
+		}
+	}
+	return pkg + name
+}
+
+// recvTypeName unwraps a method receiver to its named type.
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// callGraph accumulates summaries across packages (one analyzer
+// invocation may span the whole module).
+type callGraph struct {
+	sums map[*types.Func]*funcSummary
+	// order preserves collection order (package load order, then file
+	// and declaration order) so traversal and reporting stay
+	// deterministic without sorting on synthesized names.
+	order []*types.Func
+}
+
+func newCallGraph() *callGraph {
+	return &callGraph{sums: map[*types.Func]*funcSummary{}}
+}
+
+// add registers a summary; collection order is preserved.
+func (g *callGraph) add(s *funcSummary) {
+	if _, dup := g.sums[s.obj]; dup {
+		return
+	}
+	g.sums[s.obj] = s
+	g.order = append(g.order, s.obj)
+}
+
+// lookup resolves a callee to its summary, normalizing instantiated
+// generics back to their declared origin. Nil means out-of-module (or
+// otherwise body-less): the caller applies its opaque-call fallback.
+func (g *callGraph) lookup(fn *types.Func) *funcSummary {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return g.sums[fn]
+}
+
+// chainVisit is one step of a traversal from a root.
+type chainVisit struct {
+	fn     *types.Func
+	parent *types.Func
+	depth  int
+}
+
+// walkFrom breadth-first-traverses the graph from the roots, invoking
+// visit exactly once per reachable summarized function with the chain
+// that first reached it. Trusted (//spawnvet:pure) functions stop the
+// walk: visit is not called for them and their callees are not
+// enqueued. When a chain would exceed callGraphDepthCap, deep is called
+// with the truncation point and the walk stops descending there.
+func (g *callGraph) walkFrom(roots []*types.Func,
+	visit func(sum *funcSummary, chain []string),
+	deep func(sum *funcSummary, calleePos token.Pos, chain []string)) {
+
+	parent := map[*types.Func]*types.Func{}
+	seen := map[*types.Func]bool{}
+	var queue []chainVisit
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, chainVisit{fn: r, depth: 0})
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		sum := g.lookup(v.fn)
+		if sum == nil {
+			continue
+		}
+		parent[v.fn] = v.parent
+		if sum.trusted {
+			continue
+		}
+		visit(sum, g.chain(parent, v.fn))
+		if v.depth >= callGraphDepthCap {
+			if len(sum.callees) > 0 {
+				deep(sum, sum.calleePos[sum.callees[0]], g.chain(parent, v.fn))
+			}
+			continue
+		}
+		for _, c := range sum.callees {
+			cc := c
+			if o := cc.Origin(); o != nil {
+				cc = o
+			}
+			if seen[cc] {
+				continue
+			}
+			seen[cc] = true
+			queue = append(queue, chainVisit{fn: cc, parent: v.fn, depth: v.depth + 1})
+		}
+	}
+}
+
+// chain renders the root-to-fn call chain of the first discovery.
+func (g *callGraph) chain(parent map[*types.Func]*types.Func, fn *types.Func) []string {
+	var rev []string
+	for cur := fn; cur != nil; cur = parent[cur] {
+		if s := g.lookup(cur); s != nil {
+			rev = append(rev, s.displayName())
+		} else {
+			rev = append(rev, cur.Name())
+		}
+		if _, ok := parent[cur]; !ok {
+			break
+		}
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// chainText joins a chain for diagnostics.
+func chainText(chain []string) string {
+	return strings.Join(chain, " → ")
+}

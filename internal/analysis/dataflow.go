@@ -219,6 +219,19 @@ func (f *funcFlow) add(out *[]Origin, o Origin) {
 	}
 }
 
+// capStop records the conservative OriginUnknown marker when a cap is
+// exhausted. Unlike add, it never drops the marker: when the origin set
+// is already full it overwrites the final slot, so a capped trace can
+// never read as fully sanctioned (that would be a false negative — the
+// untraced remainder might be the unsanctioned part).
+func (f *funcFlow) capStop(out *[]Origin, e ast.Expr) {
+	if len(*out) >= originFanCap {
+		(*out)[originFanCap-1] = Origin{Kind: OriginUnknown, Expr: e}
+		return
+	}
+	*out = append(*out, Origin{Kind: OriginUnknown, Expr: e})
+}
+
 // arithmeticOps are the binary operators a value flows through
 // unchanged in kind (the result is "made of" both operands).
 var arithmeticOps = map[token.Token]bool{
@@ -230,7 +243,7 @@ var arithmeticOps = map[token.Token]bool{
 
 func (f *funcFlow) trace(e ast.Expr, visiting map[*types.Var]bool, depth int, out *[]Origin) {
 	if depth > originDepthCap || len(*out) >= originFanCap {
-		f.add(out, Origin{Kind: OriginUnknown, Expr: e})
+		f.capStop(out, e)
 		return
 	}
 	e = ast.Unparen(e)
@@ -260,6 +273,11 @@ func (f *funcFlow) trace(e ast.Expr, visiting map[*types.Var]bool, depth int, ou
 	case *ast.UnaryExpr:
 		switch x.Op {
 		case token.ADD, token.SUB, token.XOR:
+			f.trace(x.X, visiting, depth+1, out)
+		case token.AND:
+			// &x aliases x: the pointer carries its referent's origins
+			// (what lets the purity analyzer see leaks and alias writes
+			// through address-taken values).
 			f.trace(x.X, visiting, depth+1, out)
 		default:
 			f.add(out, Origin{Kind: OriginUnknown, Expr: x})

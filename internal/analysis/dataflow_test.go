@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureFlow builds the funcFlow of one named function in a fixture
+// package and returns it with the argument of the function's final
+// `return use(...)` call.
+func fixtureFlow(t *testing.T, pkgName, funcName string) (*funcFlow, ast.Expr) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", pkgName))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", pkgName, err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Fatalf("fixture %s does not type-check: %v", pkgName, te)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != funcName {
+				continue
+			}
+			var arg ast.Expr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+						arg = call.Args[0]
+					}
+				}
+				return true
+			})
+			if arg == nil {
+				t.Fatalf("%s.%s has no use(...) sink", pkgName, funcName)
+			}
+			return newFuncFlow(pkg.Info, fd), arg
+		}
+	}
+	t.Fatalf("function %s not found in fixture %s", funcName, pkgName)
+	return nil, nil
+}
+
+// TestDepthCapIsConservative: an assignment chain longer than
+// originDepthCap must surface OriginUnknown, not a truncated-but-clean
+// origin set.
+func TestDepthCapIsConservative(t *testing.T) {
+	flow, arg := fixtureFlow(t, "capflow", "deep")
+	origins := flow.originsOf(arg)
+	unknown := false
+	for _, o := range origins {
+		if o.Kind == OriginUnknown {
+			unknown = true
+		}
+		if o.Kind == OriginParam {
+			t.Errorf("trace deeper than originDepthCap reached the parameter; the cap is not being applied")
+		}
+	}
+	if !unknown {
+		t.Errorf("depth-capped trace has no OriginUnknown marker; origins = %v", origins)
+	}
+}
+
+// TestFanCapIsConservative is the false-negative regression for the
+// cap-marker drop: with originFanCap sanctioned origins already
+// collected, the one unsanctioned origin traced last must still leave
+// an OriginUnknown marker in the set (previously it was silently
+// dropped, letting a partially unsanctioned value read as clean).
+func TestFanCapIsConservative(t *testing.T) {
+	flow, arg := fixtureFlow(t, "capflow", "wide")
+	origins := flow.originsOf(arg)
+	if len(origins) > originFanCap {
+		t.Fatalf("fan cap not applied: %d origins", len(origins))
+	}
+	unknown := false
+	for _, o := range origins {
+		if o.Kind == OriginUnknown {
+			unknown = true
+		}
+	}
+	if !unknown {
+		t.Errorf("fan-capped trace has no OriginUnknown marker; a capped set must never read as fully sanctioned")
+	}
+}
+
+// TestCapExhaustionSurfacesAsSeedDiagnostic pins the analyzer-level
+// behavior: both capped traces must produce the conservative
+// "cannot be traced" seedtaint diagnostic at the use(...) sink.
+func TestCapExhaustionSurfacesAsSeedDiagnostic(t *testing.T) {
+	diags := loadFixture(t, "capflow", SeedTaintAnalyzer())
+	var hits int
+	for _, d := range diags {
+		if d.Analyzer == "seedtaint" && strings.Contains(d.Message, "cannot be traced") {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("want 2 conservative untraceable-origin diagnostics (deep and wide), got %d: %v", hits, diags)
+	}
+}

@@ -15,7 +15,8 @@ import (
 //
 // Rules, inside the deterministic packages (internal/sim/...,
 // internal/harness, internal/trace, internal/metrics, internal/faults,
-// internal/inputs, internal/store):
+// internal/inputs, internal/store, the CLIs under cmd/, and the module
+// root package):
 //
 //   - no time.Now / time.Since (wall-clock sites that are genuinely
 //     presentation-only — heartbeat rates, deadline bookkeeping — carry
@@ -31,10 +32,10 @@ func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc:  "forbid wall-clock reads, global math/rand, and order-dependent map iteration in deterministic packages",
-		AppliesTo: pathWithin(
+		AppliesTo: pathWithinOrRoot(
 			"internal/sim", "internal/harness", "internal/trace",
 			"internal/metrics", "internal/faults", "internal/inputs",
-			"internal/store",
+			"internal/store", "cmd",
 		),
 		Run: runDeterminism,
 	}

@@ -26,6 +26,8 @@ var goldenCases = []struct {
 	{"seedtaint", func() []*Analyzer { return []*Analyzer{SeedTaintAnalyzer()} }},
 	{"exhaustive", func() []*Analyzer { return []*Analyzer{ExhaustiveAnalyzer()} }},
 	{"units", func() []*Analyzer { return []*Analyzer{UnitsAnalyzer()} }},
+	{"purity", func() []*Analyzer { return []*Analyzer{PurityAnalyzer()} }},
+	{"sharedstate", func() []*Analyzer { return []*Analyzer{SharedStateAnalyzer()} }},
 	// The directive fixture tests the comment grammar itself; the
 	// determinism analyzer is loaded so valid directives have something
 	// real to suppress.

@@ -41,9 +41,9 @@ func SeedTaintAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "seedtaint",
 		Doc:  "rand seeds must trace to Spec/config seed fields or registered derivation helpers",
-		AppliesTo: pathWithin(
+		AppliesTo: pathWithinOrRoot(
 			"internal/sim", "internal/faults", "internal/harness",
-			"internal/workloads", "internal/inputs",
+			"internal/workloads", "internal/inputs", "cmd",
 		),
 		Run: runSeedTaint,
 	}
@@ -56,6 +56,10 @@ func SeedTaintAnalyzer() *Analyzer {
 var SeedDerivers = map[string]bool{
 	// splitmix64-style mixers are sanctioned derivation primitives.
 	"spawnsim/internal/faults.mix": true,
+	// Command-line flags are the sanctioned external seed source: a CLI
+	// seed (-chaos-seed) enters the registry at the flag boundary.
+	"flag.Uint64": true, "flag.Int64": true,
+	"flag.Uint": true, "flag.Int": true,
 }
 
 // seedNamed reports whether an identifier participates in the seed

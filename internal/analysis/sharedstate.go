@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedStateAnalyzer is the static counterpart of the -race CI job and
+// the pre-flight gate for intra-run parallelism (ROADMAP item 1): at
+// every `go func(){...}` spawn site it computes the variables reachable
+// by both the spawned closure and its enclosing scope, then flags
+// writes to them that no sanctioned pattern protects. The sanctioned
+// patterns are the ones the harness pool is built from:
+//
+//   - mutex guard: a sync.Mutex/RWMutex Lock (or RLock) held earlier in
+//     the closure body (positional check; pairing with Unlock is the
+//     race detector's job);
+//   - channel-handed index: an element write s[i] where i is the key of
+//     an enclosing range over a channel — each index is handed to
+//     exactly one worker, so s[i] has a single writer
+//     (pool.go's `for i := range jobs` workers);
+//   - collector barrier: the enclosing scope may write a captured
+//     variable again only after a sync.WaitGroup Wait (or a mutex Lock)
+//     between the spawn and the write;
+//   - per-worker copy: variables declared inside the closure are its
+//     own and are never flagged.
+//
+// `go name(args)` spawns share nothing lexically (arguments are copied
+// at the spawn site) and are skipped. Writes inside nested function
+// literals are attributed to their own spawn site when they are
+// themselves go-spawned, and skipped here otherwise — a closure handed
+// elsewhere is a handoff whose serialization this analyzer cannot see.
+// Suppress a vetted site with //spawnvet:allow sharedstate.
+func SharedStateAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "sharedstate",
+		Doc:  "writes shared between a go-spawned closure and its enclosing scope need a sanctioned guard",
+		Run:  runSharedState,
+	}
+}
+
+func runSharedState(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return
+			}
+			checkSpawnSite(pass, gs, lit, enclosingBody(stack))
+		})
+	}
+}
+
+// enclosingBody returns the body of the innermost function enclosing
+// the node whose ancestor stack is given.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkSpawnSite(pass *Pass, gs *ast.GoStmt, lit *ast.FuncLit, encl *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// The capture set: every variable the closure references that is
+	// declared outside it — locals of the enclosing scope and
+	// package-level variables alike. Struct fields are reached through a
+	// captured base and are covered by that base's entry.
+	captured := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := objOf(info, id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured[v] = true
+		}
+		return true
+	})
+
+	// Positions where the closure takes a lock: a write below one of
+	// these is mutex-guarded.
+	var lockPos []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSyncCall(info, call, "Lock", "RLock", "Mutex", "RWMutex") {
+			lockPos = append(lockPos, call.Pos())
+		}
+		return true
+	})
+
+	// Closure-side writes to captured variables.
+	walkStack(lit.Body, func(n ast.Node, stack []ast.Node) {
+		if nestedGoSpawn(stack) {
+			return
+		}
+		for _, lhs := range writeTargets(n) {
+			base, _, _ := writeBase(lhs)
+			if base == nil {
+				continue
+			}
+			v, ok := objOf(info, base).(*types.Var)
+			if !ok || !captured[v] {
+				continue
+			}
+			if chanIndexWrite(info, lhs, stack) {
+				continue
+			}
+			if posAfterAny(lhs.Pos(), lockPos) {
+				continue
+			}
+			pass.Reportf(lhs.Pos(),
+				"goroutine writes %s, which is shared with its enclosing scope, without a sanctioned guard (mutex held, channel-handed index, or per-worker copy)",
+				v.Name())
+		}
+	})
+
+	// Enclosing-scope writes after the spawn: the goroutine may still be
+	// running unless a WaitGroup Wait (or a lock) sits between.
+	if encl == nil {
+		return
+	}
+	var barrierPos []token.Pos
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if n == lit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isSyncCall(info, call, "Wait", "", "WaitGroup", "") ||
+				isSyncCall(info, call, "Lock", "RLock", "Mutex", "RWMutex") {
+				if call.Pos() > gs.End() {
+					barrierPos = append(barrierPos, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	walkStack(encl, func(n ast.Node, stack []ast.Node) {
+		if insideFuncLit(stack) {
+			return
+		}
+		for _, lhs := range writeTargets(n) {
+			if lhs.Pos() <= gs.End() {
+				continue
+			}
+			base, _, _ := writeBase(lhs)
+			if base == nil {
+				continue
+			}
+			v, ok := objOf(info, base).(*types.Var)
+			if !ok || !captured[v] {
+				continue
+			}
+			if barrierBetween(gs.End(), lhs.Pos(), barrierPos) {
+				continue
+			}
+			pass.Reportf(lhs.Pos(),
+				"write to %s after spawning a goroutine that captures it, with no WaitGroup Wait or lock in between; the goroutine may still be running",
+				v.Name())
+		}
+	})
+}
+
+// writeTargets returns the assignment targets of a statement node.
+func writeTargets(n ast.Node) []ast.Expr {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return n.Lhs
+	case *ast.IncDecStmt:
+		return []ast.Expr{n.X}
+	}
+	return nil
+}
+
+// nestedGoSpawn reports whether the stack crosses another go-spawned
+// (or otherwise nested) function literal below the walk root: those
+// writes belong to their own spawn-site analysis.
+func nestedGoSpawn(stack []ast.Node) bool {
+	return insideFuncLit(stack)
+}
+
+// insideFuncLit reports whether the stack crosses a function literal.
+func insideFuncLit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// chanIndexWrite reports whether lhs is an element write s[i] whose
+// index i is the key of an enclosing range over a channel: the
+// channel hands each index to exactly one goroutine, so the element has
+// a single writer.
+func chanIndexWrite(info *types.Info, lhs ast.Expr, stack []ast.Node) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	iv, ok := objOf(info, id).(*types.Var)
+	if !ok {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		rs, ok := stack[i].(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		key, ok := rs.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if kv, ok := objOf(info, key).(*types.Var); !ok || kv != iv {
+			continue
+		}
+		if tv, ok := info.Types[rs.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSyncCall reports whether call invokes method name1 (or name2) on a
+// value of sync type type1 (or type2).
+func isSyncCall(info *types.Info, call *ast.CallExpr, name1, name2, type1, type2 string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != name1 && (name2 == "" || sel.Sel.Name != name2) {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	n := named.Obj().Name()
+	return n == type1 || (type2 != "" && n == type2)
+}
+
+// posAfterAny reports whether pos falls after at least one of the
+// guard positions.
+func posAfterAny(pos token.Pos, guards []token.Pos) bool {
+	for _, g := range guards {
+		if pos > g {
+			return true
+		}
+	}
+	return false
+}
+
+// barrierBetween reports whether a barrier position lies strictly
+// between from and to.
+func barrierBetween(from, to token.Pos, barriers []token.Pos) bool {
+	for _, b := range barriers {
+		if b > from && b < to {
+			return true
+		}
+	}
+	return false
+}

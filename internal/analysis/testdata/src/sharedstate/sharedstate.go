@@ -1,0 +1,68 @@
+// Package sharedstate stages go-spawned closures sharing state with
+// their enclosing scope: the sanctioned pool patterns stay silent and
+// every unguarded write trips the analyzer.
+package sharedstate
+
+import "sync"
+
+// hits is package-level state a goroutine mutates below.
+var hits int
+
+// pool mirrors the harness worker pool: channel-handed indices, a
+// mutex-guarded fold, and a WaitGroup barrier before the enclosing
+// scope touches shared state again — all sanctioned, nothing flagged.
+func pool(n int) ([]int, error) {
+	outs := make([]int, n)
+	var firstErr error
+	var mu sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i] = i * i // channel-handed index: single writer
+				mu.Lock()
+				firstErr = nil // mutex-guarded fold
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	firstErr = nil // after wg.Wait(): the workers are gone
+	return outs, firstErr
+}
+
+// races stages the violations.
+func races(n int) int {
+	total := 0
+	vals := make([]int, n)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			total += i  // want: unguarded write to a shared variable
+			vals[i] = i // want: index not handed through a channel
+		}
+		hits++ // want: package-level write from a goroutine
+		close(done)
+	}()
+	total = 1 // want: enclosing-scope write with no barrier after the spawn
+	<-done
+	return total + vals[0]
+}
+
+// vetted is the suppression case: the write is serialized by machinery
+// the analyzer cannot see.
+func vetted() {
+	ready := false
+	go func() {
+		//spawnvet:allow sharedstate fixture stand-in for an externally serialized handoff
+		ready = true
+	}()
+	_ = ready
+}
