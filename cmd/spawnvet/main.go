@@ -1,8 +1,8 @@
 // Command spawnvet is the project's static-analysis driver. It loads
 // the module with the standard library's parser and type checker (no
-// external tooling) and runs ten analyzers over it: determinism,
+// external tooling) and runs twelve analyzers over it: determinism,
 // hotpath, invariants, errwrap, metricshygiene, seedtaint, exhaustive,
-// units, purity, and sharedstate.
+// units, purity, sharedstate, clockstep, and skipsafe.
 //
 // Usage:
 //
@@ -13,6 +13,9 @@
 //	-disable s   comma-separated analyzers to skip
 //	-fix         apply mechanical fixes (%v→%w, sort-before-range),
 //	             then re-analyze and report what remains
+//	-changed b   report only diagnostics in files changed since git
+//	             revision b (the module is still analyzed as a whole,
+//	             so interprocedural facts stay complete)
 //	-list        print the available analyzers and exit
 //
 // Exit status: 0 when the tree is clean, 1 when diagnostics were
@@ -24,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"spawnsim/internal/analysis"
@@ -40,6 +45,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	fix := fs.Bool("fix", false, "apply mechanical fixes, then re-analyze")
+	changed := fs.String("changed", "", "report only diagnostics in files changed since this git revision")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +90,15 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, "spawnvet:", err)
 			return 2
 		}
+	}
+
+	if *changed != "" {
+		files, err := changedFiles(*changed)
+		if err != nil {
+			fmt.Fprintln(stderr, "spawnvet:", err)
+			return 2
+		}
+		diags = analysis.FilterFiles(diags, files)
 	}
 
 	if *jsonOut {
@@ -139,6 +154,27 @@ func analyze(patterns []string, analyzers []*analysis.Analyzer, stderr *os.File)
 		}
 	}
 	return analysis.Run(pkgs, analyzers), nil
+}
+
+// changedFiles lists, as absolute paths, the files git reports changed
+// since base (committed changes plus the working tree).
+func changedFiles(base string) ([]string, error) {
+	top, err := exec.Command("git", "rev-parse", "--show-toplevel").Output()
+	if err != nil {
+		return nil, fmt.Errorf("-changed needs a git checkout: %w", err)
+	}
+	root := strings.TrimSpace(string(top))
+	out, err := exec.Command("git", "diff", "--name-only", base).Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %w", base, err)
+	}
+	var files []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			files = append(files, filepath.Join(root, line))
+		}
+	}
+	return files, nil
 }
 
 // selectAnalyzers resolves -enable / -disable against the registry.

@@ -99,6 +99,8 @@ func Analyzers() []*Analyzer {
 		UnitsAnalyzer(),
 		PurityAnalyzer(),
 		SharedStateAnalyzer(),
+		ClockStepAnalyzer(),
+		SkipSafeAnalyzer(),
 	}
 }
 
@@ -226,6 +228,24 @@ func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	return kept
 }
 
+// FilterFiles keeps only the diagnostics located in one of the given
+// files (absolute paths). It is a pure output filter: the -changed CLI
+// mode analyzes the whole module (interprocedural facts still see
+// everything) and narrows what is reported, never what is analyzed.
+func FilterFiles(diags []Diagnostic, files []string) []Diagnostic {
+	keep := make(map[string]bool, len(files))
+	for _, f := range files {
+		keep[f] = true
+	}
+	out := []Diagnostic{}
+	for _, d := range diags {
+		if keep[d.File] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // DirectiveKind distinguishes the spawnvet comment directives.
 type DirectiveKind uint8
 
@@ -250,6 +270,16 @@ const (
 	//
 	//	//spawnvet:pure table lookup over data frozen at construction
 	DirectivePure
+	// DirectiveSkipSafe asserts, in a function's doc comment, that the
+	// function is safe to call while the engine fast-forwards across a
+	// provably-idle span even though the skipsafe analyzer sees effects —
+	// the author has vetted them as invisible to simulated state (e.g.
+	// wall-clock presentation fields). The function becomes a trusted
+	// leaf. The justification is mandatory; a bare //spawnvet:skipsafe
+	// is a malformed-directive diagnostic and confers no trust:
+	//
+	//	//spawnvet:skipsafe heartbeat pacing fields never feed the model
+	DirectiveSkipSafe
 )
 
 // Directive is one parsed //spawnvet:... comment.
@@ -303,6 +333,17 @@ func (p *Package) scanDirectives() {
 					d.Justification = strings.TrimSpace(rest)
 					if d.Justification == "" {
 						d.Err = "//spawnvet:pure needs a justification (why the function honors the purity contract)"
+					}
+				case strings.HasPrefix(text, "skipsafe"):
+					d.Kind = DirectiveSkipSafe
+					rest := strings.TrimPrefix(text, "skipsafe")
+					if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+						d.Err = fmt.Sprintf("unknown spawnvet directive %q", "//spawnvet:"+text)
+						break
+					}
+					d.Justification = strings.TrimSpace(rest)
+					if d.Justification == "" {
+						d.Err = "//spawnvet:skipsafe needs a justification (why the effects are invisible to a skipped idle span)"
 					}
 				case strings.HasPrefix(text, "allow"):
 					d.Kind = DirectiveAllow
@@ -364,6 +405,29 @@ func (p *Package) hotPathMarked(fn *ast.FuncDecl) bool {
 	for _, c := range fn.Doc.List {
 		if strings.TrimSpace(c.Text) == "//spawnvet:hotpath" {
 			return true
+		}
+	}
+	return false
+}
+
+// skipsafeMarked reports whether the function declaration carries a
+// valid //spawnvet:skipsafe directive (with justification) in its doc
+// comment. Like pure, a malformed skipsafe directive fails closed.
+func (p *Package) skipsafeMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	p.scanDirectives()
+	for _, c := range fn.Doc.List {
+		if !strings.HasPrefix(c.Text, "//spawnvet:skipsafe") {
+			continue
+		}
+		pos := p.Fset.Position(c.Pos())
+		for _, d := range p.directives {
+			if d.Kind == DirectiveSkipSafe && d.Err == "" &&
+				d.Pos.Filename == pos.Filename && d.Pos.Line == pos.Line {
+				return true
+			}
 		}
 	}
 	return false

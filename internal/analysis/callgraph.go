@@ -51,6 +51,15 @@ const (
 	// that flowed in through a parameter — caller memory escaping into
 	// state that outlives the call.
 	effectLeak
+	// effectStateWrite: a write through a pointer-shaped parameter or
+	// receiver — caller-visible mutation (used by skipsafe, which is
+	// stricter than purity: even receiver state must stay frozen while
+	// the engine fast-forwards).
+	effectStateWrite
+	// effectSpawn / effectSend: goroutine launch and channel send —
+	// externally observable scheduling effects (skipsafe).
+	effectSpawn
+	effectSend
 )
 
 // effect is one direct contract violation found in a function body.

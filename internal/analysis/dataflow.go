@@ -73,14 +73,27 @@ const (
 	originFanCap   = 64
 )
 
-// funcFlow holds the assignment graph of one function body.
+// funcFlow holds the assignment graph of one function body, plus the
+// lazily built flow-sensitive layer (cfg.go) that narrows queries to
+// the definitions actually reaching each program point.
 type funcFlow struct {
 	info *types.Info
 	// assigns maps each local variable to every expression assigned to
-	// it anywhere in the function (flow-insensitive).
+	// it anywhere in the function (flow-insensitive fallback).
 	assigns map[*types.Var][]ast.Expr
 	// params marks parameters and receivers.
 	params map[*types.Var]bool
+
+	// body is the function body the CFG is built from (nil for the
+	// package-level pseudo-scope).
+	body *ast.BlockStmt
+	// built/sensitive/cfg/envIn are the flow-sensitive layer, populated
+	// by ensureFlowSensitive (cfg.go). When sensitive is false, queries
+	// use the flow-insensitive assignment graph above.
+	built     bool
+	sensitive bool
+	cfg       *funcCFG
+	envIn     []originEnv
 }
 
 // newFuncFlow builds the assignment graph for fn, which must be an
@@ -108,6 +121,7 @@ func newFuncFlow(info *types.Info, fn ast.Node) *funcFlow {
 	if body == nil {
 		return f
 	}
+	f.body = body
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -206,10 +220,20 @@ func (f *funcFlow) recordValueSpec(vs *ast.ValueSpec) {
 }
 
 // originsOf returns the leaf sources that can flow into e within this
-// function. The set is an over-approximation (see the file comment).
+// function. When the flow-sensitive layer (cfg.go) is available the
+// trace follows only the definitions reaching e's program point;
+// otherwise it falls back to the flow-insensitive assignment graph.
+// Either way the set is an over-approximation of the true origins.
 func (f *funcFlow) originsOf(e ast.Expr) []Origin {
 	var out []Origin
-	f.trace(e, map[*types.Var]bool{}, 0, &out)
+	f.ensureFlowSensitive()
+	if f.sensitive {
+		if env, ok := f.envAt(e); ok {
+			f.trace(e, env, map[*types.Var]bool{}, 0, &out)
+			return out
+		}
+	}
+	f.trace(e, nil, map[*types.Var]bool{}, 0, &out)
 	return out
 }
 
@@ -241,7 +265,10 @@ var arithmeticOps = map[token.Token]bool{
 	token.SHL: true, token.SHR: true,
 }
 
-func (f *funcFlow) trace(e ast.Expr, visiting map[*types.Var]bool, depth int, out *[]Origin) {
+// trace walks e's structure toward leaves. env is the reaching-
+// definition environment at e's program point when the flow-sensitive
+// layer is active, nil for flow-insensitive tracing.
+func (f *funcFlow) trace(e ast.Expr, env originEnv, visiting map[*types.Var]bool, depth int, out *[]Origin) {
 	if depth > originDepthCap || len(*out) >= originFanCap {
 		f.capStop(out, e)
 		return
@@ -251,7 +278,7 @@ func (f *funcFlow) trace(e ast.Expr, visiting map[*types.Var]bool, depth int, ou
 	case *ast.BasicLit:
 		f.add(out, Origin{Kind: OriginLiteral, Expr: x})
 	case *ast.Ident:
-		f.traceIdent(x, visiting, depth, out)
+		f.traceIdent(x, env, visiting, depth, out)
 	case *ast.SelectorExpr:
 		f.traceSelector(x, out)
 	case *ast.CallExpr:
@@ -259,40 +286,40 @@ func (f *funcFlow) trace(e ast.Expr, visiting map[*types.Var]bool, depth int, ou
 			// Type conversion: the value flows through. This is what
 			// lets the units analyzer see laundering through plain
 			// integer intermediates.
-			f.trace(x.Args[0], visiting, depth+1, out)
+			f.trace(x.Args[0], env, visiting, depth+1, out)
 			return
 		}
 		f.add(out, Origin{Kind: OriginCall, Expr: x, Obj: calleeObject(f.info, x)})
 	case *ast.BinaryExpr:
 		if arithmeticOps[x.Op] {
-			f.trace(x.X, visiting, depth+1, out)
-			f.trace(x.Y, visiting, depth+1, out)
+			f.trace(x.X, env, visiting, depth+1, out)
+			f.trace(x.Y, env, visiting, depth+1, out)
 			return
 		}
 		f.add(out, Origin{Kind: OriginUnknown, Expr: x})
 	case *ast.UnaryExpr:
 		switch x.Op {
 		case token.ADD, token.SUB, token.XOR:
-			f.trace(x.X, visiting, depth+1, out)
+			f.trace(x.X, env, visiting, depth+1, out)
 		case token.AND:
 			// &x aliases x: the pointer carries its referent's origins
 			// (what lets the purity analyzer see leaks and alias writes
 			// through address-taken values).
-			f.trace(x.X, visiting, depth+1, out)
+			f.trace(x.X, env, visiting, depth+1, out)
 		default:
 			f.add(out, Origin{Kind: OriginUnknown, Expr: x})
 		}
 	case *ast.StarExpr:
-		f.trace(x.X, visiting, depth+1, out)
+		f.trace(x.X, env, visiting, depth+1, out)
 	case *ast.IndexExpr:
 		// The element of a collection inherits the collection's origins.
-		f.trace(x.X, visiting, depth+1, out)
+		f.trace(x.X, env, visiting, depth+1, out)
 	default:
 		f.add(out, Origin{Kind: OriginUnknown, Expr: e})
 	}
 }
 
-func (f *funcFlow) traceIdent(id *ast.Ident, visiting map[*types.Var]bool, depth int, out *[]Origin) {
+func (f *funcFlow) traceIdent(id *ast.Ident, env originEnv, visiting map[*types.Var]bool, depth int, out *[]Origin) {
 	obj := f.info.Uses[id]
 	if obj == nil {
 		obj = f.info.Defs[id]
@@ -301,6 +328,37 @@ func (f *funcFlow) traceIdent(id *ast.Ident, visiting map[*types.Var]bool, depth
 	case *types.Const:
 		f.add(out, Origin{Kind: OriginLiteral, Expr: id, Obj: obj})
 	case *types.Var:
+		if env != nil {
+			// Flow-sensitive: the environment is consulted before the
+			// parameter set so a reassigned parameter resolves to what
+			// actually reaches this point, not its caller-supplied value.
+			if defs, ok := env[obj]; ok {
+				if visiting[obj] {
+					return
+				}
+				visiting[obj] = true
+				for _, rhs := range defs {
+					if dID, isID := rhs.(*ast.Ident); isID && f.info.Defs[dID] == types.Object(obj) {
+						// Self-marker from `var x T`: the zero value, an
+						// anonymous literal.
+						f.add(out, Origin{Kind: OriginLiteral, Expr: dID})
+						continue
+					}
+					f.trace(rhs, env, visiting, depth+1, out)
+				}
+				delete(visiting, obj)
+				return
+			}
+			switch {
+			case f.params[obj]:
+				f.add(out, Origin{Kind: OriginParam, Expr: id, Obj: obj})
+			case obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope():
+				f.add(out, Origin{Kind: OriginGlobal, Expr: id, Obj: obj})
+			default:
+				f.add(out, Origin{Kind: OriginUnknown, Expr: id, Obj: obj})
+			}
+			return
+		}
 		switch {
 		case f.params[obj]:
 			f.add(out, Origin{Kind: OriginParam, Expr: id, Obj: obj})
@@ -310,7 +368,7 @@ func (f *funcFlow) traceIdent(id *ast.Ident, visiting map[*types.Var]bool, depth
 		case len(f.assigns[obj]) > 0:
 			visiting[obj] = true
 			for _, rhs := range f.assigns[obj] {
-				f.trace(rhs, visiting, depth+1, out)
+				f.trace(rhs, nil, visiting, depth+1, out)
 			}
 			delete(visiting, obj)
 		case obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope():

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// TestFilterFiles pins the -changed contract: a pure path filter over
+// already-computed diagnostics, exact-match on absolute file paths.
+func TestFilterFiles(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "/repo/a.go", Line: 1, Analyzer: "determinism"},
+		{File: "/repo/b.go", Line: 2, Analyzer: "clockstep"},
+		{File: "/repo/sub/c.go", Line: 3, Analyzer: "skipsafe"},
+	}
+	got := FilterFiles(diags, []string{"/repo/b.go", "/repo/sub/c.go", "/repo/untouched.go"})
+	if len(got) != 2 || got[0].File != "/repo/b.go" || got[1].File != "/repo/sub/c.go" {
+		t.Errorf("FilterFiles kept %v, want b.go and sub/c.go", got)
+	}
+	if got := FilterFiles(diags, nil); len(got) != 0 {
+		t.Errorf("empty change set must keep nothing, got %v", got)
+	}
+	// The filter never mutates its input.
+	if len(diags) != 3 {
+		t.Errorf("input slice mutated: %v", diags)
+	}
+}

@@ -28,6 +28,8 @@ var goldenCases = []struct {
 	{"units", func() []*Analyzer { return []*Analyzer{UnitsAnalyzer()} }},
 	{"purity", func() []*Analyzer { return []*Analyzer{PurityAnalyzer()} }},
 	{"sharedstate", func() []*Analyzer { return []*Analyzer{SharedStateAnalyzer()} }},
+	{"clockstep", func() []*Analyzer { return []*Analyzer{ClockStepAnalyzer()} }},
+	{"skipsafe", func() []*Analyzer { return []*Analyzer{SkipSafeAnalyzer()} }},
 	// The directive fixture tests the comment grammar itself; the
 	// determinism analyzer is loaded so valid directives have something
 	// real to suppress.

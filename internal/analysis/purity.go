@@ -331,6 +331,8 @@ func (st *purityState) finish(pass *Pass) {
 					pass.Reportf(eff.pos,
 						"run-reachable function leaks caller memory: %s (call chain: %s); copy the input instead of retaining it",
 						eff.what, chainText(chain))
+				default:
+					// effectStateWrite/Spawn/Send are skipsafe-only kinds.
 				}
 			}
 		},

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SkipSafeAnalyzer certifies the precondition of the event-wheel
+// rewrite (ROADMAP item 1): when the engine proves itself idle and
+// fast-forwards the clock, nothing observable may change — a skipped
+// span must be indistinguishable from ticking through it. The analyzer
+// finds the skip-path roots structurally and closes the module call
+// graph over them, reporting every effect the closure can perform:
+//
+//   - writes to package-level variables (directly or through traced
+//     aliases);
+//   - mutation of caller-visible state: writes through pointer-shaped
+//     parameters or receivers (stricter than purity — even the GPU's
+//     own fields must stay frozen while idle);
+//   - ambient I/O (purity's classification: os/net/log, wall clock,
+//     global rand, console fmt);
+//   - goroutine spawns and channel sends (observable scheduling).
+//
+// The roots are (1) every function called on the fast-forward path of
+// sim.(GPU).Run — the statements dominated by the false edge of the
+// activity branch, identified as the unique `if` whose body both
+// advances the clock and continues the loop; calls inside cold return
+// paths (deadlock aborts) are excluded — and (2) the profTick and
+// heartbeat methods on GPU, which the engine may invoke while idle.
+//
+// Sanctioned escape hatches: packages listed in SkipSafeAccumulators
+// (profiling accumulators whose whole purpose is to observe idle
+// spans) are trusted leaves, as are functions marked
+// //spawnvet:skipsafe <justification> or //spawnvet:pure
+// <justification> (purity is a stronger contract). A bare
+// //spawnvet:skipsafe fails closed as a malformed-directive
+// diagnostic. Site-level suppression: //spawnvet:allow skipsafe
+// <justification>.
+func SkipSafeAnalyzer() *Analyzer {
+	st := &skipsafeState{}
+	return &Analyzer{
+		Name:   "skipsafe",
+		Doc:    "functions callable during a provably-idle fast-forward must be effect-free",
+		Run:    st.collect,
+		Finish: st.finish,
+		Reset:  func() { st.graph = nil },
+	}
+}
+
+// SkipSafeAccumulators lists module package-path suffixes whose
+// functions are sanctioned skip-path sinks: accumulators that exist to
+// record idle spans (SkipTo folds skipped cycles into the idle-run
+// histograms). Like SeedDerivers and PureFuncs, this is a small
+// reviewable registry, not a wildcard.
+var SkipSafeAccumulators = []string{"internal/profile"}
+
+func skipSanctionedPkg(pkgPath string) bool {
+	for _, suf := range SkipSafeAccumulators {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+type skipsafeState struct {
+	graph *callGraph
+}
+
+func (st *skipsafeState) ensure() *callGraph {
+	if st.graph == nil {
+		st.graph = newCallGraph()
+	}
+	return st.graph
+}
+
+// collect builds one summary per function declaration, module-wide:
+// effects under the skip-safety contract plus static call edges.
+func (st *skipsafeState) collect(pass *Pass) {
+	g := st.ensure()
+	flows := newFlowCache(pass.Pkg.Info)
+	sanctionedPkg := skipSanctionedPkg(pass.Pkg.Path)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := &funcSummary{obj: obj, decl: fd, pkg: pass.Pkg,
+				calleePos: map[*types.Func]token.Pos{}}
+			if sanctionedPkg || pass.Pkg.skipsafeMarked(fd) || pass.Pkg.pureMarked(fd) {
+				sum.trusted = true
+				g.add(sum)
+				continue
+			}
+			st.scanBody(pass, flows, fd, sum)
+			g.add(sum)
+		}
+	}
+}
+
+func (st *skipsafeState) scanBody(pass *Pass, flows *flowCache, fd *ast.FuncDecl, sum *funcSummary) {
+	info := pass.Pkg.Info
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn, ok := calleeObject(info, n).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return
+			}
+			if PureFuncs[fn.FullName()] {
+				return
+			}
+			if ambientCall(fn) {
+				sum.effects = append(sum.effects, effect{
+					kind: effectAmbientIO, pos: n.Pos(), what: fn.FullName()})
+				return
+			}
+			sum.addCallee(fn, n.Pos())
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				st.recordWrite(info, flows, stack, sum, lhs)
+			}
+		case *ast.IncDecStmt:
+			st.recordWrite(info, flows, stack, sum, n.X)
+		case *ast.GoStmt:
+			sum.effects = append(sum.effects, effect{
+				kind: effectSpawn, pos: n.Pos(), what: "goroutine spawn"})
+		case *ast.SendStmt:
+			sum.effects = append(sum.effects, effect{
+				kind: effectSend, pos: n.Pos(), what: "channel send"})
+		}
+	})
+}
+
+// recordWrite classifies one assignment target under the skip-safety
+// contract: package-level state and anything reachable through a
+// pointer-shaped parameter or receiver is an effect; frame-local
+// scratch is not.
+func (st *skipsafeState) recordWrite(info *types.Info, flows *flowCache, stack []ast.Node, sum *funcSummary, lhs ast.Expr) {
+	base, hadStar, wrapped := writeBase(lhs)
+	if base == nil || base.Name == "_" {
+		return
+	}
+	v, ok := objOf(info, base).(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if isPackageLevel(v) {
+		sum.effects = append(sum.effects, effect{kind: effectGlobalWrite, pos: lhs.Pos(),
+			what: "package-level variable " + v.Name()})
+		return
+	}
+	if !wrapped || (!hadStar && !refShaped(v.Type())) {
+		// Writing a local itself, or an element of a local value copy,
+		// stays inside the frame.
+		return
+	}
+	flow := flows.at(stack)
+	if flow == nil {
+		return
+	}
+	for _, o := range flow.originsOf(base) {
+		switch o.Kind {
+		case OriginGlobal:
+			alias := exprText(o.Expr)
+			if o.Obj != nil {
+				alias = o.Obj.Name()
+			}
+			sum.effects = append(sum.effects, effect{kind: effectGlobalWrite, pos: lhs.Pos(),
+				what: "package-level state through " + base.Name + " (aliasing " + alias + ")"})
+			return
+		case OriginParam:
+			if p, ok := o.Obj.(*types.Var); ok && refShaped(p.Type()) {
+				sum.effects = append(sum.effects, effect{kind: effectStateWrite, pos: lhs.Pos(),
+					what: exprText(lhs) + " (caller-visible through " + p.Name() + ")"})
+				return
+			}
+		default:
+			// Literal/call/unknown-origined bases stay frame-local.
+		}
+	}
+}
+
+// skipRootsFromRun locates the fast-forward region of one GPU.Run body
+// and returns the functions it calls outside cold return paths. The
+// region is found structurally: the unique `if` whose body both stores
+// to the clock field and continues the loop is the activity branch;
+// everything dominated by its false edge runs only when the engine has
+// proven itself idle. Returns ok=false when the shape is ambiguous.
+func skipRootsFromRun(sum *funcSummary) (roots []*types.Func, ok bool) {
+	info := sum.pkg.Info
+	body := sum.decl.Body
+	var activityIf *ast.IfStmt
+	count := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, isIf := n.(*ast.IfStmt)
+		if !isIf {
+			return true
+		}
+		hasClockStore, hasContinue := false, false
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for _, l := range m.Lhs {
+					if clockFieldSel(info, l) != nil {
+						hasClockStore = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if clockFieldSel(info, m.X) != nil {
+					hasClockStore = true
+				}
+			case *ast.BranchStmt:
+				if m.Tok == token.CONTINUE {
+					hasContinue = true
+				}
+			}
+			return true
+		})
+		if hasClockStore && hasContinue {
+			activityIf = ifs
+			count++
+		}
+		return true
+	})
+	if activityIf == nil || count != 1 {
+		return nil, false
+	}
+	cfg := buildCFG(body)
+	var condB *cfgBlock
+	for _, b := range cfg.blocks {
+		if b.cond == activityIf.Cond {
+			condB = b
+			break
+		}
+	}
+	if condB == nil || len(condB.succs) != 2 {
+		return nil, false
+	}
+	falseB := condB.succs[1]
+	seen := map[*types.Func]bool{}
+	for _, b := range cfg.blocks {
+		if !cfg.dominates(falseB, b) {
+			continue
+		}
+		for _, node := range b.nodes {
+			walkStack(node, func(n ast.Node, stack []ast.Node) {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall || inColdContext(info, stack) {
+					return
+				}
+				if fn, isFn := calleeObject(info, call).(*types.Func); isFn && !seen[fn] {
+					seen[fn] = true
+					roots = append(roots, fn)
+				}
+			})
+		}
+	}
+	return roots, true
+}
+
+// finish discovers the skip-path roots and reports every effect their
+// call-graph closure can perform.
+func (st *skipsafeState) finish(pass *Pass) {
+	if pass.Pkg == nil {
+		return
+	}
+	g := st.ensure()
+	var roots []*types.Func
+	for _, fn := range g.order {
+		sum := g.sums[fn]
+		if clockRoot(sum) {
+			rs, ok := skipRootsFromRun(sum)
+			if !ok {
+				pass.Reportf(sum.decl.Name.Pos(),
+					"cannot locate the fast-forward idle region in %s (expected a unique `if <activity> { clock advance; continue }` branch); skip-safety is unverified",
+					sum.displayName())
+				continue
+			}
+			roots = append(roots, rs...)
+			continue
+		}
+		if sum.decl.Recv != nil && recvTypeName(sum.decl) == "GPU" &&
+			(sum.obj.Name() == "profTick" || sum.obj.Name() == "heartbeat") {
+			roots = append(roots, fn)
+		}
+	}
+	g.walkFrom(roots,
+		func(sum *funcSummary, chain []string) {
+			if sum.overflow {
+				pass.Reportf(sum.decl.Name.Pos(),
+					"%s has more than %d static callees; skip-safety is unverifiable (call chain: %s) — split it or mark vetted helpers //spawnvet:skipsafe",
+					sum.displayName(), callGraphFanCap, chainText(chain))
+			}
+			for _, eff := range sum.effects {
+				switch eff.kind {
+				case effectGlobalWrite:
+					pass.Reportf(eff.pos,
+						"skip-path function writes %s (call chain: %s); a fast-forwarded idle span must be observationally identical to ticking through it — route the mutation through a sanctioned accumulator or mark the function //spawnvet:skipsafe",
+						eff.what, chainText(chain))
+				case effectStateWrite:
+					pass.Reportf(eff.pos,
+						"skip-path function mutates %s (call chain: %s); state must stay frozen while the engine fast-forwards an idle span — or mark the function //spawnvet:skipsafe with a justification",
+						eff.what, chainText(chain))
+				case effectAmbientIO:
+					pass.Reportf(eff.pos,
+						"skip-path function performs ambient I/O via %s (call chain: %s); the idle fast-forward must not touch wall-clock or OS state",
+						eff.what, chainText(chain))
+				case effectSpawn:
+					pass.Reportf(eff.pos,
+						"skip-path function spawns a goroutine (call chain: %s); a skipped idle span must not schedule observable work",
+						chainText(chain))
+				case effectSend:
+					pass.Reportf(eff.pos,
+						"skip-path function sends on a channel (call chain: %s); a skipped idle span must not publish observable events",
+						chainText(chain))
+				default:
+					// effectLeak is a purity-only classification.
+				}
+			}
+		},
+		func(sum *funcSummary, pos token.Pos, chain []string) {
+			pass.Reportf(pos,
+				"call chain from the skip-path roots exceeds the depth cap (%d) inside %s; deeper callees are unverified (chain: %s)",
+				callGraphDepthCap, sum.displayName(), chainText(chain))
+		})
+}

@@ -46,6 +46,21 @@ func bad(spec plan, trial int) {
 	_ = p
 }
 
+// branchSplit is the flow-sensitivity regression: each arm of the
+// branch sees only its own definition. The flow-insensitive engine
+// merged both arms everywhere, flagging the seed-armed use below.
+func branchSplit(spec plan, fallback bool) {
+	var x uint64
+	if fallback {
+		x = uint64(time.Now().UnixNano())
+		_ = rand.NewSource(int64(x)) // ambient def reaches: flagged
+	} else {
+		x = deriveSeed(spec.Seed, 3)
+		_ = rand.NewSource(int64(x)) // only the seed def reaches: clean
+	}
+	_ = rand.NewSource(int64(x)) // join: the ambient arm reaches, flagged
+}
+
 func suppressed() *rand.Rand {
 	//spawnvet:allow seedtaint fixture: fuzz corpus stream is intentionally unkeyed
 	return rand.New(rand.NewSource(7))

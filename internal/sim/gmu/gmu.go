@@ -193,14 +193,14 @@ func (g *GMU) Dispatch(now kernel.Cycle, place PlaceFunc) int {
 // Note: a yielded kernel's same-stream successor may start before the
 // yielded kernel completes, relaxing stream ordering for suspended
 // kernels only (see DESIGN.md).
-func (g *GMU) Yield(k *kernel.Kernel) {
+func (g *GMU) Yield(now kernel.Cycle, k *kernel.Kernel) {
 	if k.Aggregated || k.Yielded {
 		return
 	}
 	qi := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
 	q := g.hwqs[qi]
 	if len(q) == 0 || q[0] != k {
-		panic(kernel.Invariantf(0, "gmu", "yielding %v which is not head of HWQ %d", k, qi))
+		panic(kernel.Invariantf(now, "gmu", "yielding %v which is not head of HWQ %d", k, qi))
 	}
 	g.hwqs[qi] = q[1:]
 	if len(g.hwqs[qi]) == 0 {
@@ -212,7 +212,7 @@ func (g *GMU) Yield(k *kernel.Kernel) {
 
 // KernelCompleted removes a finished kernel from its queue, unblocking
 // the next kernel in that HWQ.
-func (g *GMU) KernelCompleted(k *kernel.Kernel) {
+func (g *GMU) KernelCompleted(now kernel.Cycle, k *kernel.Kernel) {
 	g.queuedKerns--
 	if k.Yielded {
 		return // already off-queue
@@ -224,12 +224,12 @@ func (g *GMU) KernelCompleted(k *kernel.Kernel) {
 				return
 			}
 		}
-		panic(kernel.Invariantf(0, "gmu", "completed aggregated %v not in direct queue", k))
+		panic(kernel.Invariantf(now, "gmu", "completed aggregated %v not in direct queue", k))
 	}
 	qi := int(uint32(k.Stream) % uint32(g.cfg.NumHWQs))
 	q := g.hwqs[qi]
 	if len(q) == 0 || q[0] != k {
-		panic(kernel.Invariantf(0, "gmu", "completed %v is not head of HWQ %d", k, qi))
+		panic(kernel.Invariantf(now, "gmu", "completed %v is not head of HWQ %d", k, qi))
 	}
 	g.hwqs[qi] = q[1:]
 	if len(g.hwqs[qi]) == 0 {

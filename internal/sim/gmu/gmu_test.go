@@ -64,7 +64,7 @@ func TestSameStreamSerializes(t *testing.T) {
 	}
 	// k1 completes -> k2 unblocks.
 	k1.CTAsDone = 1
-	g.KernelCompleted(k1)
+	g.KernelCompleted(1, k1)
 	g.Dispatch(1, acceptAll)
 	if !k2.Dispatched() {
 		t.Error("k2 not dispatched after k1 completed")
@@ -165,9 +165,9 @@ func TestDirectQueueOutOfOrderCompletion(t *testing.T) {
 	}
 	// b completes before a: must not panic, and removes b only.
 	b.CTAsDone = 1
-	g.KernelCompleted(b)
+	g.KernelCompleted(1, b)
 	a.CTAsDone = 1
-	g.KernelCompleted(a)
+	g.KernelCompleted(1, a)
 	if g.QueuedKernels() != 0 {
 		t.Errorf("QueuedKernels = %d, want 0", g.QueuedKernels())
 	}
@@ -184,5 +184,5 @@ func TestKernelCompletedPanicsOnNonHead(t *testing.T) {
 			t.Error("completing a non-head kernel should panic")
 		}
 	}()
-	g.KernelCompleted(k2)
+	g.KernelCompleted(1, k2)
 }

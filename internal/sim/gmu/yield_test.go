@@ -21,7 +21,7 @@ func TestYieldUnblocksSuccessor(t *testing.T) {
 	if !parent.FullySuspended() {
 		t.Fatal("parent should report fully suspended")
 	}
-	g.Yield(parent)
+	g.Yield(1, parent)
 	if !parent.Yielded {
 		t.Fatal("parent not marked yielded")
 	}
@@ -31,9 +31,9 @@ func TestYieldUnblocksSuccessor(t *testing.T) {
 	}
 	// Completion of a yielded kernel must not disturb the queue.
 	parent.CTAsDone = 1
-	g.KernelCompleted(parent)
+	g.KernelCompleted(1, parent)
 	child.CTAsDone = 1
-	g.KernelCompleted(child)
+	g.KernelCompleted(1, child)
 	if g.QueuedKernels() != 0 {
 		t.Errorf("QueuedKernels = %d, want 0", g.QueuedKernels())
 	}
@@ -44,15 +44,15 @@ func TestYieldIsIdempotentAndSkipsAggregated(t *testing.T) {
 	k := mkKernel(1, 1, 3)
 	g.Enqueue(k)
 	g.Dispatch(0, acceptAll)
-	g.Yield(k)
-	g.Yield(k) // second call is a no-op
+	g.Yield(1, k)
+	g.Yield(1, k) // second call is a no-op
 	if !k.Yielded {
 		t.Error("not yielded")
 	}
 	agg := mkKernel(2, 1, 0)
 	agg.Aggregated = true
 	g.Enqueue(agg)
-	g.Yield(agg) // aggregated kernels have no HWQ slot; no-op
+	g.Yield(1, agg) // aggregated kernels have no HWQ slot; no-op
 	if agg.Yielded {
 		t.Error("aggregated kernel must not be marked yielded")
 	}
@@ -69,5 +69,5 @@ func TestYieldPanicsWhenNotHead(t *testing.T) {
 			t.Error("yielding a non-head kernel should panic")
 		}
 	}()
-	g.Yield(k2)
+	g.Yield(1, k2)
 }

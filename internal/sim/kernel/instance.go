@@ -198,10 +198,10 @@ func NewCTA(k *Kernel, index, warpSize int) *CTA {
 
 // WarpRetired records that a warp finished or parked at sync.
 // It returns true when this was the last running warp of the CTA.
-func (c *CTA) WarpRetired() bool {
+func (c *CTA) WarpRetired(now Cycle) bool {
 	c.runningWarps--
 	if c.runningWarps < 0 {
-		panic(Invariantf(0, "kernel", "CTA %d of %v retired more warps than it has", c.Index, c.Kernel))
+		panic(Invariantf(now, "kernel", "CTA %d of %v retired more warps than it has", c.Index, c.Kernel))
 	}
 	return c.runningWarps == 0
 }

@@ -123,10 +123,10 @@ func TestCTAResourceReservation(t *testing.T) {
 func TestWarpRetired(t *testing.T) {
 	d := testDef(1, 64, 0)
 	c := NewCTA(&Kernel{Def: d}, 0, 32)
-	if c.WarpRetired() {
+	if c.WarpRetired(1) {
 		t.Error("first retirement should not complete a 2-warp CTA")
 	}
-	if !c.WarpRetired() {
+	if !c.WarpRetired(1) {
 		t.Error("second retirement should complete the CTA")
 	}
 	defer func() {
@@ -134,7 +134,7 @@ func TestWarpRetired(t *testing.T) {
 			t.Error("over-retirement should panic")
 		}
 	}()
-	c.WarpRetired()
+	c.WarpRetired(1)
 }
 
 func TestKernelLifecyclePredicates(t *testing.T) {

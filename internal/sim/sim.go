@@ -626,7 +626,7 @@ func (g *GPU) stepLaunch(now kernel.Cycle, w *kernel.Warp) {
 func (g *GPU) parkWarp(now kernel.Cycle, w *kernel.Warp, state kernel.WarpState) {
 	w.State = state
 	g.activeWarps.Add(uint64(now), -1)
-	if w.CTA.WarpRetired() {
+	if w.CTA.WarpRetired(now) {
 		g.ctaExecDone(now, w.CTA)
 	}
 }
@@ -653,7 +653,7 @@ func (g *GPU) retireWarp(now kernel.Cycle, w *kernel.Warp) {
 // CTA relinquishes its SMX resources (Section II-C). If children are
 // still outstanding the CTA waits detached; otherwise it completes.
 func (g *GPU) ctaExecDone(now kernel.Cycle, c *kernel.CTA) {
-	g.smxs[c.SMX].Release(c)
+	g.smxs[c.SMX].Release(now, c)
 	g.noteCTALevel(now, c.Kernel.IsChild(), -1)
 	g.sampleUtilization(now)
 	if c.Kernel.IsChild() {
@@ -672,7 +672,7 @@ func (g *GPU) ctaExecDone(now kernel.Cycle, c *kernel.CTA) {
 	if k.FullySuspended() {
 		// Every incomplete CTA of this kernel is blocked on children:
 		// release the HWQ slot so descendants can dispatch.
-		g.gmu.Yield(k)
+		g.gmu.Yield(now, k)
 		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
 	}
 }
@@ -696,7 +696,7 @@ func (g *GPU) completeCTA(now kernel.Cycle, c *kernel.CTA) {
 	if k.FullySuspended() && !k.Yielded {
 		// The last non-suspended CTA just completed: the kernel now only
 		// waits on children and must release its HWQ slot.
-		g.gmu.Yield(k)
+		g.gmu.Yield(now, k)
 		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
 	}
 }
@@ -706,7 +706,7 @@ func (g *GPU) completeCTA(now kernel.Cycle, c *kernel.CTA) {
 func (g *GPU) completeKernel(now kernel.Cycle, k *kernel.Kernel) {
 	k.DoneCycle = now
 	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
-	g.gmu.KernelCompleted(k)
+	g.gmu.KernelCompleted(now, k)
 	g.liveKernels--
 	g.progress++
 	if p := k.Parent; p != nil {
@@ -877,6 +877,8 @@ func (g *GPU) processArrivals(now kernel.Cycle) bool {
 }
 
 // heartbeat reports progress to the Options.Heartbeat callback.
+//
+//spawnvet:skipsafe wall-clock reads and hb pacing fields are presentation-only; they never feed Result, traces, metrics, or any simulated state
 func (g *GPU) heartbeat(now kernel.Cycle) {
 	//spawnvet:allow determinism,purity heartbeat rate is presentation-only; it never feeds Result, traces, or metrics
 	wall := time.Now()

@@ -175,9 +175,9 @@ func (m *SMX) Place(now kernel.Cycle, c *kernel.CTA, ageSeq *uint64) {
 // relinquishment at a synchronization point).
 //
 //spawnvet:hotpath
-func (m *SMX) Release(c *kernel.CTA) {
+func (m *SMX) Release(now kernel.Cycle, c *kernel.CTA) {
 	if c.SMX != m.ID {
-		panic(kernel.Invariantf(0, m.component(), "releasing CTA resident on smx %d", c.SMX))
+		panic(kernel.Invariantf(now, m.component(), "releasing CTA resident on smx %d", c.SMX))
 	}
 	m.freeThreads += c.Threads
 	m.freeRegs += c.Regs

@@ -38,7 +38,7 @@ func TestPlaceReleaseAccounting(t *testing.T) {
 	if m.ResidentCTAs() != 1 {
 		t.Errorf("resident = %d, want 1", m.ResidentCTAs())
 	}
-	m.Release(c)
+	m.Release(1, c)
 	if m.FreeThreads() != cfg.MaxThreadsPerSM || m.FreeCTASlots() != cfg.MaxCTAsPerSM {
 		t.Error("Release did not restore resources")
 	}
