@@ -24,6 +24,7 @@ import (
 	"spawnsim/internal/config"
 	"spawnsim/internal/faults"
 	"spawnsim/internal/harness"
+	"spawnsim/internal/sim"
 	"spawnsim/internal/store"
 	"spawnsim/internal/workloads"
 )
@@ -36,6 +37,7 @@ func main() {
 		csv        = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		metricsDir = flag.String("metrics", "", "dump a per-run metrics snapshot (metrics-<bench>-<scheme>.json) into this directory")
 		parallel   = flag.Int("parallel", 0, "simulations run concurrently per sweep (0 = GOMAXPROCS, 1 = serial); outputs are byte-identical at any width")
+		engine     = flag.String("engine", "wheel", "simulator core for every run: 'wheel' (event-wheel, skips quiet cycles) or 'stepped' (cycle-stepped reference); both produce byte-identical results")
 
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 		check     = flag.Bool("check", false, "audit simulator conservation-law invariants during every run")
@@ -59,6 +61,10 @@ func main() {
 		}
 		plan = &p
 	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
@@ -70,6 +76,7 @@ func main() {
 		Workers: *parallel,
 		Context: ctx,
 		Defaults: func(s *harness.Spec) {
+			s.Engine = eng
 			s.Deadline = *timeout
 			s.CheckInvariants = *check
 			s.Retries = *retries

@@ -29,6 +29,7 @@ import (
 	"spawnsim/internal/faults"
 	"spawnsim/internal/harness"
 	"spawnsim/internal/profile"
+	"spawnsim/internal/sim"
 	"spawnsim/internal/sim/kernel"
 	"spawnsim/internal/trace"
 	"spawnsim/internal/workloads"
@@ -41,6 +42,7 @@ func main() {
 		all     = flag.Bool("all", false, "profile every benchmark and print the per-benchmark skippable-cycle table")
 		ctaSize = flag.Int("ctasize", 0, "override child CTA size (threads)")
 		perCTA  = flag.Bool("stream-per-cta", false, "one SWQ per parent CTA instead of per child kernel")
+		engine  = flag.String("engine", "wheel", "simulator core: 'wheel' (event-wheel) or 'stepped' (cycle-stepped reference); reports are byte-identical either way")
 
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial); reports are byte-identical at any width")
 		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget (0 = simulator default)")
@@ -104,6 +106,11 @@ func main() {
 	if *perCTA {
 		spec.StreamMode = kernel.StreamPerParentCTA
 	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	spec.Engine = eng
 	if *chaosPlan != "" {
 		p, err := faults.Parse(*chaosPlan, *chaosSeed)
 		if err != nil {

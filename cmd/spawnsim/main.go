@@ -41,6 +41,7 @@ func main() {
 		scheme  = flag.String("scheme", "spawn", "execution scheme: flat|baseline|offline|spawn|dtbl|threshold:N")
 		ctaSize = flag.Int("ctasize", 0, "override child CTA size (threads)")
 		perCTA  = flag.Bool("stream-per-cta", false, "one SWQ per parent CTA instead of per child kernel")
+		engine  = flag.String("engine", "wheel", "simulator core: 'wheel' (event-wheel, skips quiet cycles) or 'stepped' (cycle-stepped reference); both produce byte-identical results")
 		series  = flag.Bool("series", false, "print concurrency/utilization time series")
 		traceN  = flag.Int("trace", 0, "print the last N simulator events (bounded ring; use -trace-out for the full stream)")
 
@@ -104,6 +105,11 @@ func main() {
 	if *perCTA {
 		spec.StreamMode = kernel.StreamPerParentCTA
 	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	spec.Engine = eng
 	if *series {
 		spec.SampleInterval = 2000
 	}

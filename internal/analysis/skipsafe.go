@@ -26,9 +26,12 @@ import (
 // The roots are (1) every function called on the fast-forward path of
 // sim.(GPU).Run — the statements dominated by the false edge of the
 // activity branch, identified as the unique `if` whose body both
-// advances the clock and continues the loop; calls inside cold return
-// paths (deadlock aborts) are excluded — and (2) the profTick and
-// heartbeat methods on GPU, which the engine may invoke while idle.
+// advances the clock and continues the loop, plus the branch's init
+// statement and condition (the dueness probe, which the stepped
+// reference engine re-evaluates at every cycle of a quiet span); calls
+// inside cold return paths (deadlock aborts) are excluded — and (2)
+// the profTick and heartbeat methods on GPU, which the engine may
+// invoke while idle.
 //
 // Sanctioned escape hatches: packages listed in SkipSafeAccumulators
 // (profiling accumulators whose whole purpose is to observe idle
@@ -193,7 +196,11 @@ func (st *skipsafeState) recordWrite(info *types.Info, flows *flowCache, stack [
 // region is found structurally: the unique `if` whose body both stores
 // to the clock field and continues the loop is the activity branch;
 // everything dominated by its false edge runs only when the engine has
-// proven itself idle. Returns ok=false when the shape is ambiguous.
+// proven itself idle. The branch's init statement and condition — the
+// dueness probe itself — are certified too: the stepped reference
+// engine re-evaluates them at every cycle of a quiet span, so their
+// call closure must be as effect-free as the skip region they guard.
+// Returns ok=false when the shape is ambiguous.
 func skipRootsFromRun(sum *funcSummary) (roots []*types.Func, ok bool) {
 	info := sum.pkg.Info
 	body := sum.decl.Body
@@ -246,21 +253,29 @@ func skipRootsFromRun(sum *funcSummary) (roots []*types.Func, ok bool) {
 	}
 	falseB := condB.succs[1]
 	seen := map[*types.Func]bool{}
+	collect := func(n ast.Node, stack []ast.Node) {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || inColdContext(info, stack) {
+			return
+		}
+		if fn, isFn := calleeObject(info, call).(*types.Func); isFn && !seen[fn] {
+			seen[fn] = true
+			roots = append(roots, fn)
+		}
+	}
+	// The dueness probe (init + condition) runs on every engine
+	// iteration, including the per-cycle probes of the stepped
+	// reference engine while a span is being walked idle.
+	if activityIf.Init != nil {
+		walkStack(activityIf.Init, collect)
+	}
+	walkStack(activityIf.Cond, collect)
 	for _, b := range cfg.blocks {
 		if !cfg.dominates(falseB, b) {
 			continue
 		}
 		for _, node := range b.nodes {
-			walkStack(node, func(n ast.Node, stack []ast.Node) {
-				call, isCall := n.(*ast.CallExpr)
-				if !isCall || inColdContext(info, stack) {
-					return
-				}
-				if fn, isFn := calleeObject(info, call).(*types.Func); isFn && !seen[fn] {
-					seen[fn] = true
-					roots = append(roots, fn)
-				}
-			})
+			walkStack(node, collect)
 		}
 	}
 	return roots, true

@@ -17,6 +17,7 @@ func TestSkipSafeTruePositives(t *testing.T) {
 		{"channel send", []string{"sends on a channel", "publish"}},
 		{"multi-hop chain", []string{"probe → skipsafe.helper"}},
 		{"aliased global", []string{"through t (aliasing table)", "scribble"}},
+		{"dueness-probe root", []string{"mutates g.idle", "nextWork", "sniff"}},
 		{"bare directive fails closed", []string{"writes package-level variable launches", "skim"}},
 		{"profTick standing root", []string{"mutates g.idle", "profTick"}},
 	}

@@ -28,7 +28,7 @@ type GPU struct {
 
 func (g *GPU) Run() error {
 	for g.pending > 0 {
-		if g.active() {
+		if n := g.nextWork(); n <= 0 && g.active() {
 			g.clock++
 			continue
 		}
@@ -55,6 +55,21 @@ func (g *GPU) Run() error {
 
 // active reports whether any unit has work this cycle.
 func (g *GPU) active() bool { return g.pending%2 == 1 }
+
+// nextWork is the dueness probe in the activity branch's init: the
+// stepped reference engine re-evaluates it every idle cycle, so its
+// closure is walked from the condition roots.
+func (g *GPU) nextWork() int {
+	g.sniff()
+	return g.pending - 1
+}
+
+// sniff mutates the receiver from the dueness probe: flagged via the
+// chain nextWork → sniff even though the probe is outside the
+// false-edge region.
+func (g *GPU) sniff() {
+	g.idle++ // flagged
+}
 
 // wedged is a clean predicate on the skip path.
 func (g *GPU) wedged() bool { return g.pending < 0 }

@@ -75,6 +75,13 @@ type Spec struct {
 	ChildCTASize int
 	// StreamMode selects SWQ assignment (Figure 8).
 	StreamMode kernel.StreamMode
+	// Engine selects the simulator's scheduling core (sim.Options.Engine):
+	// the event-wheel (default) or the cycle-stepped reference loop. The
+	// two engines produce byte-identical Results, traces, metrics, and
+	// profile reports — Engine is a how-it-runs knob, not a what-it-
+	// computes knob — so it is deliberately absent from the spec's
+	// content address and a stored outcome replays for either engine.
+	Engine sim.Engine
 	// SampleInterval enables time series when non-zero.
 	SampleInterval uint64
 	// TraceEvents, when non-zero, records the last N simulator events
@@ -470,6 +477,7 @@ func runOnce(spec Spec, cfg config.GPU, pol kernel.Policy, app *workloads.App, d
 		Config:          cfg,
 		Policy:          pol,
 		StreamMode:      spec.StreamMode,
+		Engine:          spec.Engine,
 		SampleInterval:  kernel.Cycle(spec.SampleInterval),
 		MaxCycles:       kernel.Cycle(spec.MaxCycles),
 		StallWindow:     kernel.Cycle(spec.StallWindow),

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"spawnsim/internal/config"
+	"spawnsim/internal/profile"
+	"spawnsim/internal/runtime"
+	"spawnsim/internal/sim/kernel"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineWheel, true},
+		{"wheel", EngineWheel, true},
+		{"stepped", EngineStepped, true},
+		{"event", 0, false},
+		{"Wheel", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseEngine(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseEngine(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if EngineWheel.String() != "wheel" || EngineStepped.String() != "stepped" {
+		t.Errorf("Engine.String() = %q/%q, want wheel/stepped",
+			EngineWheel.String(), EngineStepped.String())
+	}
+	if _, err := NewChecked(Options{Config: config.K20m(), Policy: runtime.Flat{}, Engine: 7}); err == nil {
+		t.Error("NewChecked accepted an out-of-range Engine value")
+	}
+}
+
+// TestBusyAttributionBeyond64SMXs pins the issuedMask regression: the
+// per-SMX busy bookkeeping used to be a uint64 indexed with mi&63, so
+// on configs with more than 64 SMXs the profiler attributed smx0's
+// issue activity to smx64 (and vice versa). With a single-CTA kernel
+// only one SMX ever issues; every other SMX — in particular the
+// aliasing candidates at index >= 64 — must report zero busy cycles.
+func TestBusyAttributionBeyond64SMXs(t *testing.T) {
+	cfg := config.K20m()
+	cfg.NumSMX = 65
+	prof := profile.New(cfg.NumSMX, profile.Options{})
+	g := New(Options{
+		Config:    cfg,
+		Policy:    runtime.Flat{},
+		MaxCycles: 1_000_000,
+		Profile:   prof,
+	})
+	g.LaunchHost(&kernel.Def{
+		Name: "solo", GridCTAs: 1, CTAThreads: 64, RegsPerThread: 16,
+		NewProgram: aluProgram(50, 2),
+	})
+	if _, err := g.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := prof.Report()
+	busy := map[string]uint64{}
+	for _, c := range rep.Components {
+		busy[c.Name] = c.Busy
+	}
+	if busy["smx0"] == 0 {
+		t.Fatal("smx0 reports no busy cycles; the solo CTA should have landed there")
+	}
+	for i := 1; i < cfg.NumSMX; i++ {
+		name := "smx" + itoa(i)
+		if b, ok := busy[name]; !ok {
+			t.Fatalf("profile report has no component %q", name)
+		} else if b != 0 {
+			t.Errorf("%s reports %d busy cycles with a single-CTA workload (mask aliasing?)", name, b)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestMaxCyclesClampsFastForward pins the fast-forward budget clamp: a
+// run whose only pending event lies far past MaxCycles must abort at
+// maxCycles+1, not at the distant event, and the profiler must account
+// exactly the budgeted cycles (Ticked+Skipped == abort cycle). Checked
+// under both engines — the stepped reference walks to the same bound.
+func TestMaxCyclesClampsFastForward(t *testing.T) {
+	for _, eng := range []Engine{EngineWheel, EngineStepped} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			cfg := config.K20m()
+			prof := profile.New(cfg.NumSMX, profile.Options{})
+			g := New(Options{
+				Config:    cfg,
+				Policy:    runtime.Flat{},
+				MaxCycles: 1000,
+				Profile:   prof,
+				Engine:    eng,
+			})
+			// One warp issues a 500k-cycle ALU op: the machine goes quiet
+			// with its next event half a million cycles out.
+			g.LaunchHost(&kernel.Def{
+				Name: "long", GridCTAs: 1, CTAThreads: 32, RegsPerThread: 16,
+				NewProgram: aluProgram(2, 500_000),
+			})
+			res, err := g.Run()
+			if err == nil {
+				t.Fatal("run completed under a 1000-cycle budget; want AbortMaxCycles")
+			}
+			var abort *AbortError
+			if !errors.As(err, &abort) {
+				t.Fatalf("error = %v (%T), want *AbortError", err, err)
+			}
+			if abort.Kind != AbortMaxCycles {
+				t.Fatalf("abort kind = %v, want %v", abort.Kind, AbortMaxCycles)
+			}
+			if abort.Cycle != 1001 {
+				t.Errorf("abort cycle = %d, want 1001 (fast-forward must clamp to maxCycles+1)", abort.Cycle)
+			}
+			if res == nil {
+				t.Fatal("no partial result alongside the abort")
+			}
+			if res.Cycles != 1001 {
+				t.Errorf("partial result cycles = %d, want 1001", res.Cycles)
+			}
+			rep := prof.Report()
+			if got := rep.Ticked + rep.Skipped; got != 1001 {
+				t.Errorf("profiler accounts %d cycles (ticked %d + skipped %d), want 1001",
+					got, rep.Ticked, rep.Skipped)
+			}
+		})
+	}
+}

@@ -78,6 +78,11 @@ type Result struct {
 // result snapshots the metrics at the end of Run.
 func (g *GPU) result() *Result {
 	end := g.clock
+	// Flush the quiet span still pending at snapshot time (abort paths:
+	// the clock can sit past the last tick when a jump hit the budget
+	// clamp or a deadlock surfaced), so Ticked+Skipped == Cycles holds
+	// on every Result the profiler reports against.
+	g.prof.SkipTo(uint64(g.lastTick), uint64(end))
 	g.prof.Finish(uint64(end))
 	totalWarpSlots := float64(g.cfg.NumSMX * g.cfg.MaxWarpsPerSM())
 	offload := 0.0

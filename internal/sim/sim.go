@@ -27,11 +27,56 @@ import (
 // DefaultMaxCycles bounds a simulation that fails to terminate.
 const DefaultMaxCycles = 2_000_000_000
 
+// Engine selects the inner-loop implementation of Run. Both engines
+// share one tick body and one dueness definition (see nextEvent), so
+// they produce byte-identical Results, traces, metrics and profile
+// reports; they differ only in how the clock crosses quiet spans.
+type Engine uint8
+
+const (
+	// EngineWheel (the default) is the event wheel: the clock jumps to
+	// the minimum next component event, and only components with due
+	// work are visited on a ticked cycle.
+	EngineWheel Engine = iota
+	// EngineStepped is the reference mode: the clock advances one cycle
+	// at a time and dueness is re-derived from component state at every
+	// cycle, never trusting the wheel's jump target. It exists to gate
+	// the wheel (TestEngineParity): any unsound next-event bound shows
+	// up as an artifact divergence.
+	EngineStepped
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineWheel:
+		return "wheel"
+	case EngineStepped:
+		return "stepped"
+	default:
+		return "engine(" + strconv.Itoa(int(e)) + ")"
+	}
+}
+
+// ParseEngine maps the CLI spelling ("wheel", "stepped", or empty for
+// the default) to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "wheel":
+		return EngineWheel, nil
+	case "stepped":
+		return EngineStepped, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want wheel or stepped)", s)
+}
+
 // Options configures a GPU simulation.
 type Options struct {
 	Config     config.GPU
 	Policy     kernel.Policy
 	StreamMode kernel.StreamMode
+	// Engine selects the inner-loop implementation (default:
+	// EngineWheel). EngineStepped is the bit-identical reference mode.
+	Engine Engine
 	// SampleInterval, when non-zero, enables the time-series used by
 	// Figures 6, 19 and 20 (one sample per SampleInterval cycles).
 	SampleInterval kernel.Cycle
@@ -40,13 +85,13 @@ type Options struct {
 	// StallWindow, when non-zero, arms the cycle-progress watchdog: if
 	// the machine makes no forward progress — no issued instruction,
 	// launch decision, CTA placement, kernel arrival or completion —
-	// for StallWindow consecutive scheduler steps (spanning at least
+	// for StallWindow consecutive ticked cycles (spanning at least
 	// StallWindow cycles), the run aborts with AbortStalled and a
-	// StallSnapshot instead of spinning to MaxCycles. A quiescent
-	// fast-forward (warps blocked on memory or children in flight)
-	// counts as one step regardless of its cycle span, so legitimate
-	// waits never trip the window; only livelock — e.g. a policy
-	// deferring the same candidates forever — accumulates toward it.
+	// StallSnapshot instead of spinning to MaxCycles. Quiet spans the
+	// engine fast-forwards (warps blocked on memory or children in
+	// flight) are not ticked and never count, so legitimate waits never
+	// trip the window; only livelock — e.g. a policy deferring the same
+	// candidates forever, waking every cycle — accumulates toward it.
 	StallWindow kernel.Cycle
 	// DTBLLaunchCycles is the latency for a DTBL CTA-group launch
 	// (0 = default 150 cycles; DTBL's point is that it is tiny compared
@@ -190,6 +235,22 @@ type GPU struct {
 	streamSeq uint32
 	rrSMX     int
 
+	engine Engine
+	// dispWake is the GMU dispatcher's next-event cycle: the earliest
+	// cycle a CTA-dispatch attempt could make progress it could not make
+	// on the last attempt. Armed by the events that change dispatch
+	// feasibility — kernel arrival, HWQ yield/completion (a new queue
+	// head), SMX resource release (room for a blocked head), and a
+	// rate-limited dispatch with work left — and cleared when consumed.
+	dispWake kernel.Cycle
+	// lastTick is the most recent ticked cycle; the tick entry books
+	// the quiet span since it with prof.SkipTo, and result() flushes the
+	// span still pending at snapshot time (abort paths).
+	lastTick kernel.Cycle
+	// issued marks, per SMX, whether a warp issued this tick (profiler
+	// busy attribution; cleared at tick start when profiling).
+	issued []bool
+
 	flight      flightHeap
 	liveKernels int
 
@@ -200,13 +261,13 @@ type GPU struct {
 
 	// Watchdog state (see Options.StallWindow). progress counts forward-
 	// progress events; the Run loop latches it into progressSeen and
-	// counts progress-free scheduler steps in noProgress, aborting when
-	// that reaches stallWindow. Counting steps rather than raw cycles is
-	// what keeps the watchdog both sound and quiet: a quiescent
-	// fast-forward over a long memory or child wait is one step no matter
-	// how many cycles it spans, while a defer livelock — activity every
-	// wakeup but never a decision — accumulates a step per wakeup until
-	// the window trips.
+	// counts progress-free ticked cycles in noProgress, aborting when
+	// that reaches stallWindow. Counting ticks rather than raw cycles is
+	// what keeps the watchdog both sound and quiet: a fast-forwarded
+	// quiet span over a long memory or child wait contributes nothing no
+	// matter how many cycles it spans, while a defer livelock — a wakeup
+	// every cycle but never a decision — accumulates a tick per wakeup
+	// until the window trips.
 	stallWindow       kernel.Cycle
 	progress          uint64
 	progressSeen      uint64
@@ -285,10 +346,15 @@ func NewChecked(opts Options) (*GPU, error) {
 			return nil, err
 		}
 	}
+	if opts.Engine > EngineStepped {
+		return nil, fmt.Errorf("sim: unknown engine %d", opts.Engine)
+	}
 	g := &GPU{
 		cfg:         opts.Config,
 		pol:         opts.Policy,
 		mode:        opts.StreamMode,
+		engine:      opts.Engine,
+		dispWake:    smx.NoEvent,
 		mem:         mem.NewHierarchy(opts.Config),
 		gmu:         gmu.New(opts.Config),
 		maxCycles:   opts.MaxCycles,
@@ -326,6 +392,7 @@ func NewChecked(opts Options) (*GPU, error) {
 	for i := 0; i < opts.Config.NumSMX; i++ {
 		g.smxs = append(g.smxs, smx.New(i, &g.cfg))
 	}
+	g.issued = make([]bool, len(g.smxs))
 	if opts.Faults != nil {
 		g.inj = opts.Faults
 		// The injector is a raw-integer boundary: adapt its uint64 hooks
@@ -654,6 +721,8 @@ func (g *GPU) retireWarp(now kernel.Cycle, w *kernel.Warp) {
 // still outstanding the CTA waits detached; otherwise it completes.
 func (g *GPU) ctaExecDone(now kernel.Cycle, c *kernel.CTA) {
 	g.smxs[c.SMX].Release(now, c)
+	// Freed SMX resources can unblock a dispatchable-but-stuck head.
+	g.wakeDispatch(now + 1)
 	g.noteCTALevel(now, c.Kernel.IsChild(), -1)
 	g.sampleUtilization(now)
 	if c.Kernel.IsChild() {
@@ -672,8 +741,22 @@ func (g *GPU) ctaExecDone(now kernel.Cycle, c *kernel.CTA) {
 	if k.FullySuspended() {
 		// Every incomplete CTA of this kernel is blocked on children:
 		// release the HWQ slot so descendants can dispatch.
-		g.gmu.Yield(now, k)
-		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+		g.yieldKernel(now, k)
+	}
+}
+
+// yieldKernel releases k's HWQ headship and wakes the dispatcher: the
+// freed slot exposes the next kernel in that queue as a new head.
+func (g *GPU) yieldKernel(now kernel.Cycle, k *kernel.Kernel) {
+	g.gmu.Yield(now, k)
+	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+	g.wakeDispatch(now + 1)
+}
+
+// wakeDispatch schedules a CTA-dispatch attempt no later than cycle at.
+func (g *GPU) wakeDispatch(at kernel.Cycle) {
+	if at < g.dispWake {
+		g.dispWake = at
 	}
 }
 
@@ -696,8 +779,7 @@ func (g *GPU) completeCTA(now kernel.Cycle, c *kernel.CTA) {
 	if k.FullySuspended() && !k.Yielded {
 		// The last non-suspended CTA just completed: the kernel now only
 		// waits on children and must release its HWQ slot.
-		g.gmu.Yield(now, k)
-		g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelYielded, Kernel: k.ID, CTA: -1})
+		g.yieldKernel(now, k)
 	}
 }
 
@@ -707,6 +789,8 @@ func (g *GPU) completeKernel(now kernel.Cycle, k *kernel.Kernel) {
 	k.DoneCycle = now
 	g.emit(trace.Event{Cycle: uint64(now), Kind: trace.KernelCompleted, Kernel: k.ID, CTA: -1})
 	g.gmu.KernelCompleted(now, k)
+	// The freed HWQ slot can expose a new dispatchable queue head.
+	g.wakeDispatch(now + 1)
 	g.liveKernels--
 	g.progress++
 	if p := k.Parent; p != nil {
@@ -756,17 +840,16 @@ func (g *GPU) meanUtilization() float64 {
 // helpers read state the engine already maintains, and the expensive
 // sampled fields (bank scan, utilization) are gathered only on
 // timeline-sample ticks.
-func (g *GPU) profTick(now kernel.Cycle, arrived bool, placed int, hasDisp bool, issuedMask uint64) {
+func (g *GPU) profTick(now kernel.Cycle, arrived bool, placed int, hasDisp bool, issued []bool) {
 	p := g.prof
 	p.Note(profile.CompGMU, g.gmu.DispatchState(arrived, placed, hasDisp))
 	p.Note(profile.CompHWQ, g.gmu.QueueState(placed))
 	busySMXs := 0
 	for i, m := range g.smxs {
-		issued := issuedMask&(1<<uint(i&63)) != 0
-		if issued {
+		if issued[i] {
 			busySMXs++
 		}
-		p.Note(profile.CompSMX0+i, m.ActivityState(issued))
+		p.Note(profile.CompSMX0+i, m.ActivityState(issued[i]))
 	}
 	st := profile.TickStats{
 		Now:           uint64(now),
@@ -949,6 +1032,56 @@ func (g *GPU) abortStalled(now kernel.Cycle) (*Result, error) {
 // aborts land within a few milliseconds of the trigger.
 const ctlEvery = 1 << 13
 
+// nextEvent returns the earliest cycle at or after which some component
+// has (or may have) due work; a value <= now means the engine must tick
+// cycle now. This is the single dueness definition both engines share:
+// the wheel jumps to it, the stepped reference re-evaluates it at every
+// cycle. It is a pure query — it runs on the skip path, where nothing
+// observable may change (spawnvet skipsafe) — built from each
+// component's published next event:
+//
+//   - per-SMX scheduler wake cycles (smx.NextReady, a sound lower
+//     bound: a warp's ReadyAt only moves on ticked cycles);
+//   - the launch-transit heap head (the next kernel arrival);
+//   - the dispatcher wake cycle (see the dispWake field);
+//   - the next fault-epoch boundary while dispatchable work is queued:
+//     an injected stall/offline window can block dispatch with work
+//     pending, and the boundary is then a real event (the window
+//     clears), not a deadlock.
+func (g *GPU) nextEvent(now kernel.Cycle) kernel.Cycle {
+	next := g.dispWake
+	for _, m := range g.smxs {
+		if r := m.NextReady(); r < next {
+			next = r
+		}
+	}
+	if len(g.flight) > 0 && g.flight[0].at < next {
+		next = g.flight[0].at
+	}
+	if next > now && g.inj.Active() && g.gmu.HasDispatchable() {
+		// Consulted only when otherwise quiet: on a due cycle the value
+		// is only compared against now, so the boundary cannot matter.
+		var from uint64
+		if now > 0 {
+			from = uint64(now - 1)
+		}
+		if nc := kernel.Cycle(g.inj.NextChange(from)); nc < next {
+			next = nc
+		}
+	}
+	return next
+}
+
+// injBoundary reports whether now is a fault-epoch boundary — the cycle
+// an injected stall/offline window can clear, making a blocked dispatch
+// attempt worth retrying even though no wake event fired.
+func (g *GPU) injBoundary(now kernel.Cycle) bool {
+	if now == 0 || !g.inj.Active() {
+		return false
+	}
+	return kernel.Cycle(g.inj.NextChange(uint64(now-1))) == now
+}
+
 // Run simulates until every submitted kernel (and its descendants)
 // completes, returning the collected metrics. Aborted runs — cycle
 // budget, deadlock, cancellation, wall-clock deadline, invariant
@@ -993,84 +1126,108 @@ func (g *GPU) Run() (*Result, error) {
 					fmt.Sprintf("wall-clock deadline %v elapsed", g.deadline))
 			}
 		}
-		if g.stallWindow > 0 {
-			if g.progress != g.progressSeen {
-				g.progressSeen = g.progress
-				g.lastProgressCycle = now
-				g.noProgress = 0
-			} else if g.noProgress++; g.noProgress >= g.stallWindow {
-				return g.abortStalled(now)
-			}
-		}
-		if g.checkInv && now >= g.invNext {
-			g.invNext = now + g.invEvery
-			if err := g.checkInvariants(now); err != nil {
-				return g.abort(AbortInvariant, now, err, "")
-			}
-		}
-		if g.hb != nil && now >= g.hbNext {
-			g.heartbeat(now)
-			g.hbNext = now + g.hbEvery
-		}
-		arrived := g.processArrivals(now)
-		activity := arrived
-		hasDisp := g.gmu.HasDispatchable()
-		placed := 0
-		if hasDisp {
-			placed = g.gmu.Dispatch(now, g.place)
-			if placed > 0 {
-				activity = true
-			}
-		}
-		var issuedMask uint64
-		for mi, m := range g.smxs {
-			for si := 0; si < m.Schedulers(); si++ {
-				if w := m.Pick(si, now); w != nil {
-					g.execute(now, w)
-					activity = true
-					issuedMask |= 1 << uint(mi&63)
+		if next := g.nextEvent(now); next <= now {
+			// Tick: at least one component has due work this cycle.
+			// Book the quiet span since the previous tick first — and
+			// advance lastTick before any abort can snapshot, so the
+			// profiler's Ticked+Skipped invariant holds at every exit
+			// without double-booking the span in result().
+			g.prof.SkipTo(uint64(g.lastTick), uint64(now))
+			g.lastTick = now
+			if g.stallWindow > 0 {
+				if g.progress != g.progressSeen {
+					g.progressSeen = g.progress
+					g.lastProgressCycle = now
+					g.noProgress = 0
+				} else if g.noProgress++; g.noProgress >= g.stallWindow {
+					return g.abortStalled(now)
 				}
 			}
-		}
-		if g.prof != nil {
-			g.profTick(now, arrived, placed, hasDisp, issuedMask)
-		}
-		if activity {
+			if g.checkInv && now >= g.invNext {
+				g.invNext = now + g.invEvery
+				if err := g.checkInvariants(now); err != nil {
+					return g.abort(AbortInvariant, now, err, "")
+				}
+			}
+			if g.hb != nil && now >= g.hbNext {
+				g.heartbeat(now)
+				g.hbNext = now + g.hbEvery
+			}
+			arrived := g.processArrivals(now)
+			attempt := arrived
+			if g.dispWake <= now {
+				attempt = true
+				g.dispWake = smx.NoEvent
+			}
+			if !attempt && g.injBoundary(now) {
+				// A fault window may have cleared this cycle; retry a
+				// blocked dispatch even though no wake event fired.
+				attempt = true
+			}
+			hasDisp := false
+			placed := 0
+			if attempt {
+				hasDisp = g.gmu.HasDispatchable()
+				if hasDisp {
+					placed = g.gmu.Dispatch(now, g.place)
+					if placed == g.cfg.CTADispatchRate && g.gmu.HasDispatchable() {
+						// Rate-limited with work left: resume next cycle.
+						g.wakeDispatch(now + 1)
+					}
+				}
+			}
+			if g.prof != nil {
+				for i := range g.issued {
+					g.issued[i] = false
+				}
+			}
+			for mi, m := range g.smxs {
+				if m.NextReady() > now {
+					continue
+				}
+				for si := 0; si < m.Schedulers(); si++ {
+					if w := m.Pick(si, now); w != nil {
+						g.execute(now, w)
+						g.issued[mi] = true
+					}
+				}
+			}
+			if g.prof != nil {
+				if !attempt {
+					// Pure query for attribution only: Dispatch was not
+					// consulted, so classify against the live queue state.
+					hasDisp = g.gmu.HasDispatchable()
+				}
+				g.profTick(now, arrived, placed, hasDisp, g.issued)
+			}
 			g.clock = now + 1
 			continue
-		}
-		// Quiescent: fast-forward to the next event.
-		next := smx.NoEvent
-		for _, m := range g.smxs {
-			if r := m.NextReady(); r < next {
-				next = r
-			}
-		}
-		if len(g.flight) > 0 && g.flight[0].at < next {
-			next = g.flight[0].at
-		}
-		// An injected stall/offline window can quiesce the machine with
-		// work still queued; the next epoch boundary is then a real event
-		// (the window clears), not a deadlock.
-		if g.inj.Active() && g.gmu.HasDispatchable() {
-			if nc := kernel.Cycle(g.inj.NextChange(uint64(now))); nc < next {
-				next = nc
-			}
-		}
-		if next == smx.NoEvent {
-			return g.abort(AbortDeadlock, now, nil,
-				fmt.Sprintf("%d queued kernels, %d pending CTAs",
-					g.gmu.QueuedKernels(), g.gmu.PendingCTAs()))
-		}
-		if next <= now {
-			g.clock = now + 1
 		} else {
-			g.prof.SkipTo(uint64(now), uint64(next))
-			// A quiescent fast-forward is a legitimate wait on a known
-			// future event (memory, launch transit, a fault window
-			// clearing). The watchdog charges it as a single step, so the
-			// skipped span never inflates the stall count.
-			g.clock = next
+			// Quiescent at now: every component event is in the future.
+			// This region runs with all simulated state frozen (certified
+			// by spawnvet's skipsafe analyzer) and only advances the clock.
+			if next == smx.NoEvent {
+				return g.abort(AbortDeadlock, now, nil,
+					fmt.Sprintf("%d queued kernels, %d pending CTAs",
+						g.gmu.QueuedKernels(), g.gmu.PendingCTAs()))
+			}
+			if next > g.maxCycles {
+				// Clamp so an over-budget jump lands exactly on the abort
+				// edge: AbortMaxCycles reports maxCycles+1 and the
+				// profiler never books skipped cycles beyond the budget.
+				next = g.maxCycles + 1
+			}
+			if g.engine == EngineStepped && next > now+1 {
+				// Reference engine: walk the quiet span one cycle at a
+				// time, re-deriving dueness from component state at every
+				// cycle instead of trusting the wheel's jump target.
+				next = now + 1
+			}
+			if next <= now {
+				g.clock = now + 1
+			} else {
+				g.clock = next
+			}
 		}
 	}
 	if g.checkInv {
